@@ -1,0 +1,134 @@
+"""Fig. 1 — protocol cost comparison (AJX-par/-bcast/-ser, FAB, GWGR).
+
+Regenerates the analytic table and validates every AJX row (and the
+FAB/GWGR message structure) against traffic measured on the functional
+cluster / baseline implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FabClient,
+    GwgrClient,
+    build_fab,
+    build_gwgr,
+    cost_table,
+    format_cost_table,
+)
+from repro.client.config import ClientConfig, WriteStrategy
+from repro.core.cluster import Cluster
+from repro.erasure.rs import ReedSolomonCode
+from repro.net.local import LocalTransport
+from repro.net.message import diff_snapshots
+
+from benchmarks.conftest import print_table
+
+K, N, BS = 3, 5, 1024
+
+
+def _measure_ajx(strategy: WriteStrategy) -> tuple[int, int, int]:
+    """(write_messages, read_messages, write_payload_bytes) measured."""
+    cluster = Cluster(k=K, n=N, block_size=BS)
+    client = cluster.protocol_client("c", ClientConfig(strategy=strategy))
+    value = np.full(BS, 1, np.uint8)
+    client.write(0, 0, value)
+    before = cluster.transport.stats.snapshot()
+    client.write(0, 0, np.full(BS, 2, np.uint8))
+    wdelta = diff_snapshots(before, cluster.transport.stats.snapshot())
+    before = cluster.transport.stats.snapshot()
+    client.read(0, 0)
+    rdelta = diff_snapshots(before, cluster.transport.stats.snapshot())
+    write_bytes = sum(wdelta["request_bytes"].values()) + sum(
+        wdelta["response_bytes"].values()
+    )
+    return (
+        sum(wdelta["messages"].values()),
+        sum(rdelta["messages"].values()),
+        write_bytes,
+    )
+
+
+def bench_fig1_table(benchmark):
+    """Regenerate Fig. 1 and check AJX rows against measured traffic."""
+    rows = benchmark(cost_table, N, K)
+    p = N - K
+    measured = {
+        "AJX-par": _measure_ajx(WriteStrategy.PARALLEL),
+        "AJX-bcast": _measure_ajx(WriteStrategy.BROADCAST),
+        "AJX-ser": _measure_ajx(WriteStrategy.SERIAL),
+    }
+    table = []
+    for row in rows:
+        meas = measured.get(row.scheme)
+        table.append(
+            [
+                row.scheme,
+                row.min_granularity_blocks,
+                row.write_latency_rt,
+                row.write_messages,
+                meas[0] if meas else "-",
+                row.read_messages,
+                meas[1] if meas else "-",
+                f"{row.write_bandwidth_blocks:g}B",
+                f"{meas[2] / BS:.2f}B" if meas else "-",
+            ]
+        )
+    print_table(
+        "Fig. 1 (paper vs measured), 3-of-5, B=1KB",
+        ["scheme", "gran", "wrRT", "wrMsg", "meas", "rdMsg", "meas", "wrBW", "measBW"],
+        table,
+    )
+    print(format_cost_table(N, K, BS))
+    # Every AJX row's message counts must match the formulas exactly.
+    for scheme, (wmsg, rmsg, wbytes) in measured.items():
+        row = next(r for r in rows if r.scheme == scheme)
+        assert wmsg == row.write_messages, scheme
+        assert rmsg == row.read_messages, scheme
+        # Bandwidth within header overhead of the formula.
+        assert wbytes >= row.write_bandwidth_blocks * BS
+        assert wbytes <= row.write_bandwidth_blocks * BS + 150 * wmsg
+
+
+def bench_fig1_fab_gwgr_structure(benchmark):
+    """FAB/GWGR rows: every write touches all n nodes (4n messages)."""
+
+    def measure() -> dict[str, int]:
+        code = ReedSolomonCode(K, N)
+        transport = LocalTransport()
+        fab = FabClient("cf", transport, build_fab(transport, code), code, BS)
+        gwgr = GwgrClient("cg", transport, build_gwgr(transport, code), code, BS)
+        blocks = [np.full(BS, i + 1, np.uint8) for i in range(K)]
+        out = {}
+        before = transport.stats.snapshot()
+        fab.write_stripe(0, blocks)
+        out["fab_write"] = sum(
+            diff_snapshots(before, transport.stats.snapshot())["messages"].values()
+        )
+        before = transport.stats.snapshot()
+        gwgr.write_stripe(0, blocks)
+        out["gwgr_write"] = sum(
+            diff_snapshots(before, transport.stats.snapshot())["messages"].values()
+        )
+        before = transport.stats.snapshot()
+        gwgr.read_stripe(0)
+        out["gwgr_read"] = sum(
+            diff_snapshots(before, transport.stats.snapshot())["messages"].values()
+        )
+        return out
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Fig. 1 baselines measured (3-of-5)",
+        ["op", "messages", "paper"],
+        [
+            ["FAB write", out["fab_write"], f"4n = {4 * N} (+2n commit piggyback)"],
+            ["GWGR write", out["gwgr_write"], f"4n = {4 * N}"],
+            ["GWGR read", out["gwgr_read"], f"2n = {2 * N}"],
+        ],
+    )
+    assert out["gwgr_write"] == 4 * N
+    assert out["gwgr_read"] == 2 * N
+    assert out["fab_write"] >= 4 * N  # order+write (+explicit commit round)

@@ -1,0 +1,86 @@
+"""Fig. 8(b) — computation time for larger codes (1KB block).
+
+The paper's point: full en/decoding time grows with k, but the Delta
+and Add operations used by common-case writes stay approximately
+constant — so the protocol's common path is insensitive to code size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.erasure.rs import ReedSolomonCode
+from repro.gf import field
+
+from benchmarks.conftest import print_series
+
+BS = 1024
+KS = [2, 4, 8, 12, 16]
+P = 2  # small redundancy, the paper's "highly-efficient" regime
+
+
+def _timeit(fn, repeats=100) -> float:
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        best = min(best, (time.perf_counter() - start) / repeats)
+    return best
+
+
+@pytest.mark.parametrize("k", KS)
+def bench_fig8b_encode_scaling(benchmark, rng, k):
+    code = ReedSolomonCode(k, k + P)
+    data = [rng.integers(0, 256, BS, dtype=np.uint8) for _ in range(k)]
+    benchmark(code.encode_redundant, data)
+
+
+@pytest.mark.parametrize("k", KS)
+def bench_fig8b_delta_flat(benchmark, rng, k):
+    code = ReedSolomonCode(k, k + P)
+    new = rng.integers(0, 256, BS, dtype=np.uint8)
+    old = rng.integers(0, 256, BS, dtype=np.uint8)
+    benchmark(code.delta, k, 0, new, old)
+
+
+def bench_fig8b_shape(benchmark):
+    """Measure the full series and assert the Fig. 8b shape."""
+
+    def measure():
+        rng = np.random.default_rng(8)
+        encode, decode, delta, add = [], [], [], []
+        for k in KS:
+            code = ReedSolomonCode(k, k + P)
+            data = [rng.integers(0, 256, BS, dtype=np.uint8) for _ in range(k)]
+            stripe = code.encode(data)
+            available = {i: stripe[i] for i in range(P, k + P)}
+            new, old = data[0], stripe[0]
+            acc = stripe[-1].copy()
+            encode.append((k, _timeit(lambda: code.encode_redundant(data)) * 1e6))
+            decode.append((k, _timeit(lambda: code.decode(available)) * 1e6))
+            delta.append((k, _timeit(lambda: code.delta(k, 0, new, old), 300) * 1e6))
+            add.append((k, _timeit(lambda: field.iadd_block(acc, new), 300) * 1e6))
+        return encode, decode, delta, add
+
+    encode, decode, delta, add = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_series(
+        "Fig. 8b — computation time vs k (1KB block, us)",
+        "k",
+        {
+            "full encode": [(k, f"{t:.1f}") for k, t in encode],
+            "full decode": [(k, f"{t:.1f}") for k, t in decode],
+            "Delta": [(k, f"{t:.2f}") for k, t in delta],
+            "Add": [(k, f"{t:.2f}") for k, t in add],
+        },
+    )
+    # Full encode grows with k (roughly linearly)...
+    assert encode[-1][1] > encode[0][1] * 2
+    # ...but Delta and Add stay approximately constant.
+    assert delta[-1][1] < delta[0][1] * 3 + 10
+    assert add[-1][1] < add[0][1] * 3 + 10
+    # En/decoding times are close to each other (paper shows one curve).
+    assert decode[-1][1] < encode[-1][1] * 5

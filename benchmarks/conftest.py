@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  Results
+print to stdout (run ``pytest benchmarks/ --benchmark-only -s`` to see
+them) and the structural assertions encode the *shape* the paper
+reports — who wins, what grows, where curves flatten.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render a figure/table reproduction for the console."""
+    widths = [
+        max(len(str(h)), *(len(str(row[i])) for row in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def print_series(title: str, xlabel: str, series: dict[str, list[tuple]]) -> None:
+    """Render x/y series (a figure) as aligned columns."""
+    print(f"\n=== {title} ===")
+    for name, points in series.items():
+        print(f"-- {name}")
+        for x, y in points:
+            print(f"   {xlabel}={x:<8} {y}")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2005)

@@ -1,0 +1,60 @@
+"""Capacity planning with the analysis module and the simulator.
+
+Run:  python examples/capacity_planning.py
+
+Given a target failure budget (t_p client crashes, t_d storage crashes)
+this example:
+1. sizes the code with Corollary 1 (how many redundant nodes?),
+2. compares update strategies (write latency vs resiliency),
+3. simulates the candidate deployments to predict write throughput —
+   the §5.2 methodology, usable before buying hardware.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import resiliency as R
+from repro.client.config import WriteStrategy
+from repro.sim.experiments import run_throughput
+from repro.sim.workload import WorkloadSpec
+
+
+def main() -> None:
+    t_p, t_d = 1, 2  # survive 1 client crash + 2 storage crashes
+    print(f"target: tolerate {t_p} client + {t_d} storage failures\n")
+
+    delta_serial = R.redundancy_serial(t_p, t_d)
+    delta_parallel = R.redundancy_parallel(t_p, t_d)
+    print("Corollary 1 — redundant nodes needed:")
+    print(f"  serial adds:   delta = {delta_serial} "
+          f"(write latency {R.write_latency_serial(t_p, t_d)} round trips)")
+    print(f"  parallel adds: delta = {delta_parallel} (write latency 2)")
+    print(f"  hybrid:        delta = {delta_serial} "
+          f"(write latency {R.write_latency_hybrid(t_p, t_d)})")
+
+    k = 12  # data nodes we plan to deploy
+    candidates = {
+        "serial": (k, k + delta_serial, WriteStrategy.SERIAL),
+        "hybrid": (k, k + delta_serial, WriteStrategy.HYBRID),
+        "parallel": (k, k + delta_parallel, WriteStrategy.PARALLEL),
+        "broadcast": (k, k + delta_parallel, WriteStrategy.BROADCAST),
+    }
+
+    print(f"\nsimulated write throughput, {k} data nodes, 8 clients x 16 threads:")
+    spec = dict(outstanding=16, duration=0.2, warmup=0.04, stripes=512)
+    for name, (kk, nn, strategy) in candidates.items():
+        result = run_throughput(
+            8, kk, nn, WorkloadSpec(strategy=strategy, **spec)
+        )
+        blowup = nn / kk
+        print(f"  {name:<10} {kk}-of-{nn}  {result.write_mbps:7.1f} MB/s   "
+              f"storage cost {blowup:.2f}x   "
+              f"mean write latency {result.mean_write_latency * 1e3:.2f} ms")
+
+    print("\nresiliency profile of the serial deployment "
+          f"({k}-of-{k + delta_serial}):")
+    for entry in R.resiliency_profile(k + delta_serial, k, "serial"):
+        print(f"  tolerates {entry}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Concurrent updates to one stripe — the paper's §3.4 challenge, live.
+
+Run:  python examples/concurrent_writers.py
+
+Two clients update *different* blocks that the erasure code couples
+together, with no locks and no coordination; a third hammers the same
+block as a fourth to exercise the tid-ordering (ORDER) machinery.  At
+the end the stripe provably satisfies the code equations.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import ClientConfig, Cluster, WriteStrategy
+
+
+def main() -> None:
+    cluster = Cluster(k=2, n=4, block_size=512)
+
+    # --- different blocks, same stripe -----------------------------------
+    alice = cluster.client("alice", ClientConfig(strategy=WriteStrategy.PARALLEL))
+    bob = cluster.client("bob", ClientConfig(strategy=WriteStrategy.PARALLEL))
+
+    def updates(vol, logical, tag):
+        for i in range(100):
+            vol.write_block(logical, f"{tag}-{i}".encode())
+
+    threads = [
+        threading.Thread(target=updates, args=(alice, 0, "alice")),
+        threading.Thread(target=updates, args=(bob, 1, "bob")),
+    ]
+    print("alice writes block 0 while bob writes block 1 (same stripe)...")
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    print("  block 0:", alice.read_block(0).rstrip(b"\0"))
+    print("  block 1:", bob.read_block(1).rstrip(b"\0"))
+    print("  stripe consistent:", cluster.stripe_consistent(0))
+    assert cluster.stripe_consistent(0)
+
+    # --- same block, two writers ------------------------------------------
+    carol = cluster.client("carol")
+    dave = cluster.client("dave")
+
+    def contended(vol, tag):
+        for i in range(50):
+            vol.write_block(2, f"{tag}-{i}".encode())
+
+    print("\ncarol and dave both write block 2 (tid ordering resolves races)...")
+    threads = [
+        threading.Thread(target=contended, args=(carol, "carol")),
+        threading.Thread(target=contended, args=(dave, "dave")),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    final = carol.read_block(2).rstrip(b"\0")
+    print("  final value:", final, "(one of the writers' last values)")
+    assert final.startswith((b"carol", b"dave"))
+    print("  stripe consistent:", cluster.stripe_consistent(1))
+    assert cluster.stripe_consistent(1)
+
+    retries = sum(
+        vol.protocol.stats.order_retries for vol in (carol, dave)
+    )
+    print(f"  ORDER retries observed: {retries}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Stub for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The offline environment lacks the `wheel` package, so PEP 517 editable
+builds fail; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — reproduction of "Using Erasure Codes Efficiently for Storage
+in a Distributed System" (Aguilera, Janakiraman, Xu — DSN 2005).
+
+Quick start::
+
+    from repro import Cluster
+
+    cluster = Cluster(k=3, n=5)          # 3-of-5 Reed-Solomon
+    vol = cluster.client("client-0")     # block API, code hidden
+    vol.write_block(0, b"hello world")
+    assert vol.read_block(0)[:11] == b"hello world"
+
+Public surface:
+
+* :class:`Cluster`, :class:`VolumeClient` — deploy and use the service;
+* :class:`ClientConfig` / :class:`WriteStrategy` — AJX-ser / -par /
+  hybrid / -bcast update strategies;
+* :mod:`repro.erasure` — standalone Reed-Solomon library;
+* :mod:`repro.analysis` — Section 4 resiliency formulas;
+* :mod:`repro.baselines` — FAB / GWGR comparators and the Fig. 1 cost
+  model;
+* :mod:`repro.sim` — the discrete-event performance simulator of
+  Section 5.2.
+"""
+
+from repro.client.config import ClientConfig, WriteStrategy
+from repro.core.cluster import Cluster
+from repro.core.volume import VolumeClient
+from repro.erasure.rs import ReedSolomonCode
+from repro.erasure.striping import StripeLayout
+from repro.errors import (
+    DataLossError,
+    NodeUnavailableError,
+    ReadFailedError,
+    RecoveryFailedError,
+    ReproError,
+    WriteAbortedError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClientConfig",
+    "Cluster",
+    "DataLossError",
+    "NodeUnavailableError",
+    "ReadFailedError",
+    "RecoveryFailedError",
+    "ReedSolomonCode",
+    "ReproError",
+    "StripeLayout",
+    "VolumeClient",
+    "WriteAbortedError",
+    "WriteStrategy",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""Closed-form analysis: Section 4 resiliency theorems, §6.5 overhead."""
+
+from repro.analysis.overhead import (
+    OverheadModel,
+    erasure_storage_blowup,
+    replication_equivalent,
+)
+from repro.analysis.stats import (
+    LatencySummary,
+    confidence_interval_95,
+    mean,
+    median,
+    percentile,
+    stddev,
+    summarize,
+)
+from repro.analysis.resiliency import (
+    ResiliencyEntry,
+    d_parallel,
+    d_serial,
+    hybrid_ok,
+    max_client_failures,
+    redundancy_parallel,
+    redundancy_serial,
+    resiliency_profile,
+    write_latency_hybrid,
+    write_latency_parallel,
+    write_latency_serial,
+)
+
+__all__ = [
+    "LatencySummary",
+    "OverheadModel",
+    "ResiliencyEntry",
+    "confidence_interval_95",
+    "mean",
+    "median",
+    "percentile",
+    "stddev",
+    "summarize",
+    "d_parallel",
+    "d_serial",
+    "erasure_storage_blowup",
+    "hybrid_ok",
+    "max_client_failures",
+    "redundancy_parallel",
+    "redundancy_serial",
+    "replication_equivalent",
+    "resiliency_profile",
+    "write_latency_hybrid",
+    "write_latency_parallel",
+    "write_latency_serial",
+]

@@ -1,0 +1,155 @@
+"""Multi-writer regular-register semantics checking (§3.1).
+
+The paper guarantees the consistency of Lamport's *regular registers*
+[11] generalized to multiple writers (Shao, Pierce, Welch [12]):
+"a read never returns a value that was never written, or a value that
+was overwritten by another write.  If a write is concurrent with a
+read, the read may return the value of the write or the previously
+written value."
+
+This module provides an executable checker over operation histories:
+record invocation/response intervals of reads and writes, then
+:func:`check_regular` validates every read.  Tests and the
+fault-injection harness use it; it is exported so downstream users can
+validate their own deployments.
+
+Semantics implemented (the MWR generalization):
+
+for a read R, the admissible values are those of
+  * writes overlapping R, plus
+  * writes W that completed before R began and are not *superseded* —
+    where W is superseded iff some other write started after W
+    completed and itself completed before R began;
+  * the initial value, if no write completed before R began.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """One completed operation in a history."""
+
+    kind: str  # "read" | "write"
+    key: object  # which register (block) this op touched
+    value: object
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ValueError(f"kind must be read/write, got {self.kind!r}")
+        if self.end < self.start:
+            raise ValueError("operation ends before it starts")
+
+    def overlaps(self, other: "Op") -> bool:
+        return self.start <= other.end and other.start <= self.end
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A read that returned an inadmissible value."""
+
+    read: Op
+    admissible: frozenset
+
+    def __str__(self) -> str:
+        return (
+            f"read of {self.read.key!r} returned {self.read.value!r} at "
+            f"[{self.read.start:.6f}, {self.read.end:.6f}]; admissible: "
+            f"{sorted(map(repr, self.admissible))}"
+        )
+
+
+def admissible_values(
+    read: Op, writes: list[Op], initial: object = None
+) -> frozenset:
+    """The set of values ``read`` may legally return."""
+    relevant = [w for w in writes if w.key == read.key]
+    values = {w.value for w in relevant if w.overlaps(read)}
+    completed = [w for w in relevant if w.end < read.start]
+    if completed:
+        for w in completed:
+            superseded = any(
+                other is not w and other.start > w.end and other.end < read.start
+                for other in completed
+            )
+            if not superseded:
+                values.add(w.value)
+    else:
+        values.add(initial)
+    return frozenset(values)
+
+
+def check_regular(
+    history: list[Op], initial: object = None
+) -> list[Violation]:
+    """Validate a history; returns all violations (empty = regular)."""
+    writes = [op for op in history if op.kind == "write"]
+    violations = []
+    for op in history:
+        if op.kind != "read":
+            continue
+        allowed = admissible_values(op, writes, initial)
+        if op.value not in allowed:
+            violations.append(Violation(read=op, admissible=allowed))
+    return violations
+
+
+class HistoryRecorder:
+    """Thread-safe collector of operations for live workloads.
+
+    Usage::
+
+        recorder = HistoryRecorder()
+        with recorder.operation("write", key=block, value=v):
+            volume.write_block(block, v)
+        ...
+        assert not recorder.check(initial=0)
+    """
+
+    def __init__(self, clock=None):
+        import time as _time
+
+        self._clock = clock or _time.monotonic
+        self._ops: list[Op] = []
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, key: object, value: object,
+               start: float, end: float) -> None:
+        with self._lock:
+            self._ops.append(Op(kind, key, value, start, end))
+
+    def operation(self, kind: str, key: object, value: object = None):
+        """Context manager timing one operation.
+
+        For reads, set the observed value afterwards via the returned
+        handle's ``value`` attribute before the block exits."""
+        recorder = self
+
+        class _Ctx:
+            def __init__(self) -> None:
+                self.value = value
+
+            def __enter__(self):
+                self._start = recorder._clock()
+                return self
+
+            def __exit__(self, exc_type, exc, tb):
+                if exc_type is None:
+                    recorder.record(
+                        kind, key, self.value, self._start, recorder._clock()
+                    )
+                return False
+
+        return _Ctx()
+
+    def history(self) -> list[Op]:
+        with self._lock:
+            return list(self._ops)
+
+    def check(self, initial: object = None) -> list[Violation]:
+        return check_regular(self.history(), initial)

@@ -1,0 +1,157 @@
+"""Failure-resiliency arithmetic of Section 4 (Theorems 1-3, Corollary 1).
+
+All formulas are closed-form; we evaluate them exactly with
+:mod:`fractions` so the half-integer ``t_p/2`` terms never suffer float
+rounding.  These functions drive:
+
+* the recovery algorithm's ``slack`` (how many extra consistent blocks
+  it must gather so a re-recovery after further crashes still finds k);
+* the Fig. 8a/8c resiliency tables;
+* choosing the hybrid scheme's group size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+
+def _ceil_frac(x: Fraction) -> int:
+    return math.ceil(x)
+
+
+def d_serial(n: int, k: int, t_p: int) -> int:
+    """Theorem 1: max storage-node failures tolerated with serial adds.
+
+    ``d_SERIAL = ceil((n-k)/(t_p+1) - t_p/2)`` — may be negative, which
+    means even zero storage failures cannot be tolerated at that t_p.
+    """
+    _check(n, k, t_p)
+    return _ceil_frac(Fraction(n - k, t_p + 1) - Fraction(t_p, 2))
+
+
+def d_parallel(n: int, k: int, t_p: int) -> int:
+    """Theorem 2: max storage-node failures tolerated with parallel adds.
+
+    ``d_PARALLEL = ceil((n-k)/2^t_p - t_p/2)``.
+    """
+    _check(n, k, t_p)
+    return _ceil_frac(Fraction(n - k, 2**t_p) - Fraction(t_p, 2))
+
+
+def hybrid_ok(n: int, k: int, t_p: int, t_d: int, group_size: int) -> bool:
+    """Theorem 3: parallel-serial updates are correct iff both the
+    storage-failure budget and the parallel group size fit d_SERIAL."""
+    ds = d_serial(n, k, t_p)
+    return t_d <= ds and group_size <= ds
+
+
+def redundancy_serial(t_p: int, t_d: int) -> int:
+    """Corollary 1: redundant nodes needed (serial adds).
+
+    ``delta = 1 + (t_p + 1)(t_d + t_p/2 - 1)``; always an integer since
+    (t_p+1) is even whenever t_p is odd.
+    """
+    _check_budget(t_p, t_d)
+    delta = 1 + (t_p + 1) * (Fraction(t_d) + Fraction(t_p, 2) - 1)
+    return _as_int(delta)
+
+
+def redundancy_parallel(t_p: int, t_d: int) -> int:
+    """Corollary 1: redundant nodes needed (parallel adds).
+
+    ``delta = 1 + 2^t_p (t_d + t_p/2 - 1)``.
+    """
+    _check_budget(t_p, t_d)
+    delta = 1 + (2**t_p) * (Fraction(t_d) + Fraction(t_p, 2) - 1)
+    return _as_int(delta)
+
+
+def write_latency_serial(t_p: int, t_d: int) -> int:
+    """Round trips of a common-case WRITE with serial adds: 1 + delta."""
+    return 1 + redundancy_serial(t_p, t_d)
+
+
+def write_latency_parallel() -> int:
+    """Round trips of a common-case WRITE with parallel adds: always 2."""
+    return 2
+
+
+def write_latency_hybrid(t_p: int, t_d: int) -> int:
+    """Round trips with parallel-serial updates: 1 + ceil(delta / d_SERIAL).
+
+    Uses the same delta (redundant-node count) as the serial scheme; for
+    t_p = 0 this collapses to 2 (d_SERIAL == delta)."""
+    delta = redundancy_serial(t_p, t_d)
+    if delta <= 0:
+        return 1
+    # d_SERIAL for a code with exactly delta redundant blocks (computed
+    # directly from the Theorem 1 expression; k does not appear in it).
+    ds = _ceil_frac(Fraction(delta, t_p + 1) - Fraction(t_p, 2))
+    if ds <= 0:
+        raise ValueError(
+            f"no valid hybrid grouping for t_p={t_p}, t_d={t_d} (d_SERIAL={ds})"
+        )
+    return 1 + math.ceil(delta / ds)
+
+
+def max_client_failures(n: int, k: int, scheme: str = "serial") -> int:
+    """Largest t_p for which at least t_d = 0 storage failures remain
+    tolerable (i.e. d >= 0) under the given update scheme."""
+    d = {"serial": d_serial, "parallel": d_parallel}[scheme]
+    t_p = 0
+    while d(n, k, t_p + 1) >= 0:
+        t_p += 1
+        if t_p > n:  # defensive bound; d() decreases in t_p
+            break
+    return t_p
+
+
+@dataclass(frozen=True)
+class ResiliencyEntry:
+    """One tolerated (client, storage) failure pair, e.g. "1c1s"."""
+
+    clients: int
+    storage: int
+
+    def __str__(self) -> str:
+        return f"{self.clients}c{self.storage}s"
+
+
+def resiliency_profile(n: int, k: int, scheme: str = "serial") -> list[ResiliencyEntry]:
+    """The Fig. 8a/8c "failure resiliency" column: for each feasible t_p,
+    the largest tolerable t_d.  Depends only on n - k (the paper's
+    observation about Fig. 8c), which the tests assert.
+    """
+    d = {"serial": d_serial, "parallel": d_parallel}[scheme]
+    out = []
+    for t_p in range(0, n - k + 2):
+        t_d = d(n, k, t_p)
+        if t_d < 0:
+            break
+        out.append(ResiliencyEntry(clients=t_p, storage=t_d))
+    return out
+
+
+def _check(n: int, k: int, t_p: int) -> None:
+    if k < 2:
+        raise ValueError(f"Section 4 requires k >= 2, got k={k}")
+    if n - k > k:
+        raise ValueError(
+            f"Section 4 requires n-k <= k (redundant blocks do not outnumber "
+            f"data blocks), got n={n} k={k}"
+        )
+    if t_p < 0:
+        raise ValueError(f"t_p must be >= 0, got {t_p}")
+
+
+def _check_budget(t_p: int, t_d: int) -> None:
+    if t_p < 0 or t_d < 0:
+        raise ValueError(f"failure budgets must be >= 0, got t_p={t_p} t_d={t_d}")
+
+
+def _as_int(x: Fraction) -> int:
+    if x.denominator != 1:
+        raise AssertionError(f"redundancy formula produced non-integer {x}")
+    return int(x)

@@ -1,0 +1,42 @@
+"""Comparator protocols (FAB / GWGR / replication) and the Fig. 1 cost model."""
+
+from repro.baselines.costs import (
+    ALL_SCHEMES,
+    CostRow,
+    ajx_bcast,
+    ajx_par,
+    ajx_ser,
+    cost_table,
+    fab,
+    format_cost_table,
+    gwgr,
+)
+from repro.baselines.fab import ConcurrentWriteError, FabClient, FabNode, build_fab
+from repro.baselines.gwgr import GwgrClient, GwgrNode, build_gwgr
+from repro.baselines.replication import (
+    ReplicaNode,
+    ReplicationClient,
+    build_replication,
+)
+
+__all__ = [
+    "ALL_SCHEMES",
+    "ConcurrentWriteError",
+    "CostRow",
+    "FabClient",
+    "FabNode",
+    "GwgrClient",
+    "GwgrNode",
+    "ReplicaNode",
+    "ReplicationClient",
+    "ajx_bcast",
+    "ajx_par",
+    "ajx_ser",
+    "build_fab",
+    "build_gwgr",
+    "build_replication",
+    "cost_table",
+    "fab",
+    "format_cost_table",
+    "gwgr",
+]

@@ -1,0 +1,142 @@
+"""Analytical cost model behind Fig. 1.
+
+For a k-of-n erasure code with p = n - k redundant blocks and block
+size B, the table compares failure-free executions of:
+
+* ``AJX-par``   — this paper, parallel adds;
+* ``AJX-bcast`` — this paper, broadcast adds (needs multicast);
+* ``AJX-ser``   — this paper, serial adds;
+* ``FAB``       — Frolund et al., DSN 2004 (quorum/coordinator style);
+* ``GWGR``      — Goodson et al., DSN 2004 (full-stripe writes).
+
+The bench validates the AJX rows against message counters measured on
+the functional cluster; FAB/GWGR rows are validated against the
+simplified baseline implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostRow:
+    """One protocol's failure-free costs (Fig. 1 columns)."""
+
+    scheme: str
+    min_granularity_blocks: int  # smallest read/write unit, in blocks
+    read_latency_rt: int  # round trips
+    write_latency_rt: int
+    read_messages: int
+    write_messages: int
+    read_bandwidth_blocks: float  # in units of B (block size)
+    write_bandwidth_blocks: float
+
+    def read_bandwidth_bytes(self, block_size: int) -> float:
+        return self.read_bandwidth_blocks * block_size
+
+    def write_bandwidth_bytes(self, block_size: int) -> float:
+        return self.write_bandwidth_blocks * block_size
+
+
+def _check(n: int, k: int) -> int:
+    if not 2 <= k < n:
+        raise ValueError(f"need 2 <= k < n, got k={k} n={n}")
+    return n - k
+
+
+def ajx_par(n: int, k: int) -> CostRow:
+    p = _check(n, k)
+    return CostRow(
+        scheme="AJX-par",
+        min_granularity_blocks=1,
+        read_latency_rt=1,
+        write_latency_rt=2,
+        read_messages=2,
+        write_messages=2 * (p + 1),
+        read_bandwidth_blocks=1.0,
+        write_bandwidth_blocks=p + 2.0,
+    )
+
+
+def ajx_bcast(n: int, k: int) -> CostRow:
+    p = _check(n, k)
+    return CostRow(
+        scheme="AJX-bcast",
+        min_granularity_blocks=1,
+        read_latency_rt=1,
+        write_latency_rt=2,
+        read_messages=2,
+        write_messages=p + 3,
+        read_bandwidth_blocks=1.0,
+        write_bandwidth_blocks=3.0,
+    )
+
+
+def ajx_ser(n: int, k: int) -> CostRow:
+    p = _check(n, k)
+    return CostRow(
+        scheme="AJX-ser",
+        min_granularity_blocks=1,
+        read_latency_rt=1,
+        write_latency_rt=p + 1,
+        read_messages=2,
+        write_messages=2 * (p + 1),
+        read_bandwidth_blocks=1.0,
+        write_bandwidth_blocks=p + 2.0,
+    )
+
+
+def fab(n: int, k: int) -> CostRow:
+    _check(n, k)
+    return CostRow(
+        scheme="FAB",
+        min_granularity_blocks=1,
+        read_latency_rt=1,
+        write_latency_rt=2,
+        read_messages=2 * k,
+        write_messages=4 * n,
+        read_bandwidth_blocks=1.0,
+        write_bandwidth_blocks=2 * n + 1.0,
+    )
+
+
+def gwgr(n: int, k: int) -> CostRow:
+    _check(n, k)
+    return CostRow(
+        scheme="GWGR",
+        min_granularity_blocks=k,
+        read_latency_rt=1,
+        write_latency_rt=2,
+        read_messages=2 * n,
+        write_messages=4 * n,
+        read_bandwidth_blocks=float(n),
+        write_bandwidth_blocks=float(n),
+    )
+
+
+ALL_SCHEMES = (ajx_par, ajx_bcast, ajx_ser, fab, gwgr)
+
+
+def cost_table(n: int, k: int) -> list[CostRow]:
+    """The full Fig. 1 table for a k-of-n code."""
+    return [scheme(n, k) for scheme in ALL_SCHEMES]
+
+
+def format_cost_table(n: int, k: int, block_size: int = 1024) -> str:
+    """Render Fig. 1 for humans (used by the bench and examples)."""
+    rows = cost_table(n, k)
+    header = (
+        f"{'scheme':<10} {'gran':>5} {'rdRT':>5} {'wrRT':>5} "
+        f"{'rdMsg':>6} {'wrMsg':>6} {'rdBW':>8} {'wrBW':>8}"
+    )
+    lines = [f"Fig. 1 cost table for {k}-of-{n}, B={block_size}", header]
+    for row in rows:
+        lines.append(
+            f"{row.scheme:<10} {row.min_granularity_blocks:>5} "
+            f"{row.read_latency_rt:>5} {row.write_latency_rt:>5} "
+            f"{row.read_messages:>6} {row.write_messages:>6} "
+            f"{row.read_bandwidth_bytes(block_size):>8.0f} "
+            f"{row.write_bandwidth_bytes(block_size):>8.0f}"
+        )
+    return "\n".join(lines)

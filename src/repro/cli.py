@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``        end-to-end tour on a live cluster (write, crash, recover)
+``cost-table``  the Fig. 1 analytic cost table for a k-of-n code
+``resiliency``  Section 4 tables: failures tolerated vs redundancy
+``simulate``    one closed-loop throughput experiment on the simulator
+``calibrate``   measure this machine's erasure-code kernel costs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.resiliency import resiliency_profile
+from repro.baselines.costs import format_cost_table
+from repro.client.config import WriteStrategy
+from repro.core.cluster import Cluster
+from repro.sim.calibration import measure_costs
+from repro.sim.experiments import run_throughput
+from repro.sim.workload import WorkloadSpec
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    cluster = Cluster(k=args.k, n=args.n, block_size=args.block_size)
+    volume = cluster.client("cli")
+    print(f"deployed {args.k}-of-{args.n}, block size {args.block_size}")
+    volume.write_block(0, b"written via the repro CLI")
+    print("wrote block 0; reading:", volume.read_block(0)[:25])
+    crashed = cluster.crash_storage(0)
+    print(f"crashed {crashed}; reading through the failure...")
+    print("read block 0:", volume.read_block(0)[:25])
+    print("stripe consistent:", cluster.stripe_consistent(0))
+    stats = volume.protocol.stats
+    print(f"recoveries: {stats.recoveries_completed}, remaps: {stats.remaps}")
+    return 0
+
+
+def cmd_cost_table(args: argparse.Namespace) -> int:
+    print(format_cost_table(args.n, args.k, args.block_size))
+    return 0
+
+
+def cmd_resiliency(args: argparse.Namespace) -> int:
+    print("n-k  serial adds                parallel adds")
+    for p in range(1, args.max_p + 1):
+        k = max(2, p)
+        serial = ", ".join(str(e) for e in resiliency_profile(k + p, k, "serial"))
+        parallel = ", ".join(
+            str(e) for e in resiliency_profile(k + p, k, "parallel")
+        )
+        print(f"{p:<4} {serial:<26} {parallel}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        protocol=args.protocol,
+        read_fraction=args.reads,
+        outstanding=args.outstanding,
+        duration=args.duration,
+        warmup=args.duration / 5,
+        stripes=args.stripes,
+        strategy=WriteStrategy(args.strategy),
+        sequential=args.sequential,
+        seed=args.seed,
+    )
+    result = run_throughput(args.clients, args.k, args.n, spec)
+    print(f"protocol={args.protocol} code={args.k}-of-{args.n} "
+          f"clients={args.clients} outstanding={args.outstanding}")
+    print(f"  write throughput: {result.write_mbps:9.1f} MB/s "
+          f"({result.write_ops} ops, mean latency "
+          f"{result.mean_write_latency * 1e3:.3f} ms)")
+    print(f"  read  throughput: {result.read_mbps:9.1f} MB/s "
+          f"({result.read_ops} ops, mean latency "
+          f"{result.mean_read_latency * 1e3:.3f} ms)")
+    print(f"  max client NIC util: {result.max_client_nic_utilization:.2f}  "
+          f"max storage NIC util: {result.max_storage_nic_utilization:.2f}")
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    costs = measure_costs(block_size=args.block_size, repeats=args.repeats)
+    print(f"calibrated kernel costs for {args.block_size}-byte blocks:")
+    print(f"  Delta (client alpha*(v-w)): {costs.delta_cpu * 1e6:8.2f} us")
+    print(f"  Add (node GF add):          {costs.add_cpu * 1e6:8.2f} us")
+    print(f"  full encode per block:      {costs.encode_cpu_per_block * 1e6:8.2f} us")
+    print(f"  full decode per block:      {costs.decode_cpu_per_block * 1e6:8.2f} us")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Erasure-coded distributed storage (DSN 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="live cluster walkthrough")
+    demo.add_argument("--k", type=int, default=3)
+    demo.add_argument("--n", type=int, default=5)
+    demo.add_argument("--block-size", type=int, default=1024)
+    demo.set_defaults(func=cmd_demo)
+
+    table = sub.add_parser("cost-table", help="Fig. 1 analytic costs")
+    table.add_argument("--k", type=int, default=3)
+    table.add_argument("--n", type=int, default=5)
+    table.add_argument("--block-size", type=int, default=1024)
+    table.set_defaults(func=cmd_cost_table)
+
+    res = sub.add_parser("resiliency", help="Section 4 failure tables")
+    res.add_argument("--max-p", type=int, default=8)
+    res.set_defaults(func=cmd_resiliency)
+
+    simulate = sub.add_parser("simulate", help="closed-loop throughput run")
+    simulate.add_argument("--clients", type=int, default=2)
+    simulate.add_argument("--k", type=int, default=4)
+    simulate.add_argument("--n", type=int, default=6)
+    simulate.add_argument("--outstanding", type=int, default=16)
+    simulate.add_argument("--duration", type=float, default=0.25)
+    simulate.add_argument("--stripes", type=int, default=256)
+    simulate.add_argument("--reads", type=float, default=0.0)
+    simulate.add_argument(
+        "--protocol", choices=["ajx", "fab", "gwgr"], default="ajx"
+    )
+    simulate.add_argument(
+        "--strategy",
+        choices=[s.value for s in WriteStrategy],
+        default=WriteStrategy.PARALLEL.value,
+    )
+    simulate.add_argument("--sequential", action="store_true")
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.set_defaults(func=cmd_simulate)
+
+    calibrate = sub.add_parser("calibrate", help="measure kernel costs")
+    calibrate.add_argument("--block-size", type=int, default=1024)
+    calibrate.add_argument("--repeats", type=int, default=200)
+    calibrate.set_defaults(func=cmd_calibrate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

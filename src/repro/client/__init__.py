@@ -1,0 +1,30 @@
+"""Client-side protocol: READ/WRITE, recovery, GC, monitoring."""
+
+from repro.client.config import ClientConfig, WriteStrategy
+from repro.client.consistency import (
+    find_consistent,
+    find_consistent_exhaustive,
+    is_consistent_set,
+)
+from repro.client.gc import GcManager
+from repro.client.monitor import Monitor, MonitorReport
+from repro.client.protocol import ClientStats, ProtocolClient
+from repro.client.rebuild import Rebuilder, RebuildReport
+from repro.client.scrub import ScrubReport, Scrubber
+
+__all__ = [
+    "ClientConfig",
+    "ClientStats",
+    "GcManager",
+    "Monitor",
+    "MonitorReport",
+    "ProtocolClient",
+    "RebuildReport",
+    "Rebuilder",
+    "ScrubReport",
+    "Scrubber",
+    "WriteStrategy",
+    "find_consistent",
+    "find_consistent_exhaustive",
+    "is_consistent_set",
+]

@@ -1,0 +1,67 @@
+"""Client-side protocol configuration.
+
+The update strategy selects among the paper's AJX variants:
+
+* ``SERIAL``   — Fig. 5 as printed: adds one redundant node at a time;
+  best resiliency (Theorem 1), write latency 1 + p round trips.
+* ``PARALLEL`` — the pfor variant: one batch of concurrent adds; write
+  latency 2 round trips, reduced resiliency (Theorem 2).
+* ``HYBRID``   — parallel-serial groups (Theorem 3): groups of at most
+  ``hybrid_group_size`` updated serially, parallel within a group.
+* ``BROADCAST``— §3.11: one multicast carrying ``v - w``; the storage
+  nodes apply their own alpha coefficients.  Same resiliency shape as
+  PARALLEL, but client write bandwidth drops from (p+2)B to 3B.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class WriteStrategy(enum.Enum):
+    SERIAL = "serial"
+    PARALLEL = "parallel"
+    HYBRID = "hybrid"
+    BROADCAST = "broadcast"
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Tunables for one protocol client."""
+
+    strategy: WriteStrategy = WriteStrategy.PARALLEL
+    #: Theorem 3 group size r for HYBRID (ignored otherwise).
+    hybrid_group_size: int = 2
+
+    #: Failure budget the deployment was sized for; recovery's ``slack``
+    #: uses t_d (Fig. 6 line 12) so a re-recovery after further storage
+    #: crashes still finds k consistent blocks.
+    t_p: int = 1
+    t_d: int = 1
+
+    #: Outer WRITE attempts (each is a fresh swap + adds round).
+    max_write_attempts: int = 16
+    #: Retries of a failed swap / read before giving up.
+    max_op_attempts: int = 400
+    #: ORDER responses tolerated before concluding the previous writer
+    #: crashed and starting recovery ("tired of looping", Fig. 5).
+    order_retry_limit: int = 8
+    #: Base sleep between retries, seconds (exponential backoff, capped).
+    backoff: float = 0.001
+    backoff_cap: float = 0.05
+    #: Iterations of recovery phase 2's wait-for-adds loop before
+    #: declaring the stripe unrecoverable.
+    recovery_wait_limit: int = 200
+
+    #: Extension beyond the paper: when a read hits an out-of-service
+    #: block, first try to *decode* the value from the surviving blocks
+    #: (read-only, no locks, no repair) before falling back to full
+    #: recovery.  Serves reads with one extra round of get_states during
+    #: an outage; restoring redundancy remains the job of on-access
+    #: recovery for writes, the monitor, or the rebuilder.
+    degraded_reads: bool = False
+
+    def backoff_for(self, attempt: int) -> float:
+        """Exponential backoff with a cap; attempt is 0-based."""
+        return min(self.backoff * (2 ** min(attempt, 10)), self.backoff_cap)

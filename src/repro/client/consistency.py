@@ -1,0 +1,172 @@
+"""``find_consistent`` — the consistency oracle of recovery (Fig. 6).
+
+Given per-node state snapshots, find a (maximal) set S of stripe
+positions whose blocks are mutually consistent under the erasure code,
+judged purely from write-id bookkeeping:
+
+1. every member is in NORM mode (INIT garbage and RECONS limbo are
+   excluded from the *search*; the pickup path reuses a stored set);
+2. all redundant members saw the same set of still-pending writes:
+   ``f(r) = f(s)`` where ``f(i) = tids(recentlist_i) - G`` and ``G``
+   is the union of the members' oldlists (a tid in *any* oldlist
+   belongs to a write that completed everywhere — the GC invariant);
+3. for each data member j, the pending writes redundant members saw
+   from j equal j's own pending writes: ``H(r, j) = f(j)``.
+
+Why this works: a write's swap and adds all record the same tid.  If a
+set of blocks agree on exactly which tids they have absorbed, then each
+block equals its code equation applied to the same write history, so
+the erasure-code relation holds among them.
+
+The spec asks for a *maximal* such S.  Exhaustive search is exponential
+in n, so :func:`find_consistent` seeds candidate sets from signature
+classes of the redundant nodes and refines each to a consistent
+fixpoint, returning the largest (and verifying it).  For the small n
+used in tests, :func:`find_consistent_exhaustive` cross-checks
+maximality.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Mapping
+
+from repro.ids import Tid
+from repro.storage.state import OpMode, StateSnapshot, tids
+
+
+def _pending(
+    snapshot: StateSnapshot, garbage: set[Tid]
+) -> frozenset[Tid]:
+    """f_S(i): tids in the recentlist not known-complete."""
+    return frozenset(tids(snapshot.recentlist) - garbage)
+
+
+def _garbage(members: set[int], data: Mapping[int, StateSnapshot]) -> set[Tid]:
+    """G_S: union of the members' oldlists."""
+    out: set[Tid] = set()
+    for j in members:
+        out |= tids(data[j].oldlist)
+    return out
+
+
+def is_consistent_set(
+    members: set[int] | frozenset[int],
+    data: Mapping[int, StateSnapshot],
+    k: int,
+) -> bool:
+    """Check conditions (1)-(3) of Fig. 6's find_consistent for ``members``."""
+    if not members:
+        return True
+    if any(data[j].opmode is not OpMode.NORM for j in members):
+        return False
+    garbage = _garbage(set(members), data)
+    pending = {j: _pending(data[j], garbage) for j in members}
+    redundant = [j for j in members if j >= k]
+    data_members = [j for j in members if j < k]
+    # (2) all redundant members agree on the pending-write set.
+    signatures = {pending[r] for r in redundant}
+    if len(signatures) > 1:
+        return False
+    # (3) per data member, redundant members saw exactly its pending writes.
+    if redundant:
+        signature = next(iter(signatures))
+        by_origin: dict[int, set[Tid]] = defaultdict(set)
+        for tid in signature:
+            by_origin[tid.index].add(tid)
+        for j in data_members:
+            if frozenset(by_origin.get(j, set())) != pending[j]:
+                return False
+        # A redundant member must not have absorbed writes from data
+        # positions whose own pending set it contradicts; positions not
+        # in S are unconstrained (their blocks are not used together).
+    return True
+
+
+def _refine(
+    seed: set[int], data: Mapping[int, StateSnapshot], k: int
+) -> frozenset[int]:
+    """Shrink ``seed`` until conditions (2)-(3) hold (condition (1) is
+    guaranteed by construction).  Terminates: every round removes at
+    least one member or returns."""
+    members = set(seed)
+    while members:
+        garbage = _garbage(members, data)
+        pending = {j: _pending(data[j], garbage) for j in members}
+        redundant = [j for j in members if j >= k]
+        # (2): keep the largest signature class of redundant members.
+        classes: dict[frozenset[Tid], list[int]] = defaultdict(list)
+        for r in redundant:
+            classes[pending[r]].append(r)
+        if len(classes) > 1:
+            keep = max(classes.values(), key=lambda nodes: (len(nodes), -min(nodes)))
+            members -= set(redundant) - set(keep)
+            continue
+        # (3): drop data members whose pending writes the redundant
+        # class has not (fully) absorbed.
+        if redundant:
+            signature = next(iter(classes)) if classes else frozenset()
+            by_origin: dict[int, set[Tid]] = defaultdict(set)
+            for tid in signature:
+                by_origin[tid.index].add(tid)
+            bad = {
+                j
+                for j in members
+                if j < k and frozenset(by_origin.get(j, set())) != pending[j]
+            }
+            if bad:
+                members -= bad
+                continue
+        return frozenset(members)
+    return frozenset()
+
+
+def find_consistent(
+    data: Mapping[int, StateSnapshot], k: int
+) -> frozenset[int]:
+    """Greedy-maximal consistent set (see module docstring)."""
+    norm = {
+        j
+        for j, snap in data.items()
+        if snap.opmode is OpMode.NORM and snap.block is not None
+    }
+    data_members = {j for j in norm if j < k}
+    redundant = {j for j in norm if j >= k}
+
+    seeds: list[set[int]] = [set(norm)]
+    # One seed per redundant signature class (computed under the
+    # full-set garbage approximation) — the largest class is not always
+    # the one yielding the largest final set.
+    garbage = _garbage(norm, data)
+    classes: dict[frozenset[Tid], set[int]] = defaultdict(set)
+    for r in redundant:
+        classes[_pending(data[r], garbage)].add(r)
+    for cls in classes.values():
+        seeds.append(data_members | cls)
+    seeds.append(set(data_members))  # redundant-free fallback
+
+    best: frozenset[int] = frozenset()
+    for seed in seeds:
+        candidate = _refine(seed, data, k)
+        if len(candidate) > len(best):
+            best = candidate
+    if not is_consistent_set(best, data, k):  # defensive: never return junk
+        raise AssertionError(f"refinement produced inconsistent set {sorted(best)}")
+    return best
+
+
+def find_consistent_exhaustive(
+    data: Mapping[int, StateSnapshot], k: int
+) -> frozenset[int]:
+    """Exact maximum consistent set by subset enumeration (tests only)."""
+    norm = sorted(
+        j
+        for j, snap in data.items()
+        if snap.opmode is OpMode.NORM and snap.block is not None
+    )
+    best: frozenset[int] = frozenset()
+    for mask in range(1 << len(norm)):
+        members = {norm[i] for i in range(len(norm)) if mask >> i & 1}
+        if len(members) > len(best) and is_consistent_set(members, data, k):
+            best = frozenset(members)
+    return best

@@ -1,0 +1,677 @@
+"""Client-side protocol: READ (Fig. 4), WRITE (Fig. 5), recovery (Fig. 6).
+
+One :class:`ProtocolClient` instance per client node.  It orchestrates
+thin storage nodes through the directory (slot -> current physical
+node), implementing the paper's algorithms over any number of stripes —
+each stripe is an independent instance of the per-block state machine.
+
+Common-case behaviour matches the paper exactly: a READ is one round
+trip to one storage node; a WRITE is one ``swap`` on the data node plus
+one ``add`` per redundant node (issued serially, in parallel, in hybrid
+groups, or via broadcast per :class:`~repro.client.config.WriteStrategy`)
+— no locks, no two-phase commit, no old-version log.
+
+Failure handling: an unreachable node is remapped through the directory
+(§3.5) and the client runs recovery; expired or foreign locks and
+out-of-mode nodes likewise route into :meth:`recover`, after which the
+operation retries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.client.config import ClientConfig, WriteStrategy
+from repro.client.consistency import find_consistent
+from repro.directory import Directory
+from repro.errors import (
+    DataLossError,
+    NodeUnavailableError,
+    ReadFailedError,
+    WriteAbortedError,
+)
+from repro.gf import field as gf
+from repro.ids import BlockAddr, Tid
+from repro.net.rpc import NodeProxy, pfor
+from repro.net.transport import Transport
+from repro.tracing import NULL_TRACER
+from repro.storage.node import BROADCAST_INDEX, VolumeMeta
+from repro.storage.state import (
+    AddResult,
+    AddStatus,
+    CheckTidStatus,
+    LockMode,
+    OpMode,
+    StateSnapshot,
+    SwapResult,
+)
+
+
+@dataclass
+class ClientStats:
+    """Operation counters for tests and benches."""
+
+    reads: int = 0
+    writes: int = 0
+    write_attempts: int = 0
+    recoveries_started: int = 0
+    recoveries_completed: int = 0
+    recoveries_yielded: int = 0  # lost the lock race to another recoverer
+    order_retries: int = 0
+    remaps: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+
+class ProtocolClient:
+    """One client node running the AJX protocol against a volume."""
+
+    def __init__(
+        self,
+        client_id: str,
+        transport: Transport,
+        directory: Directory,
+        volume: str,
+        meta: VolumeMeta,
+        config: ClientConfig | None = None,
+    ):
+        self.client_id = client_id
+        self.transport = transport
+        self.directory = directory
+        self.volume = volume
+        self.meta = meta
+        self.config = config or ClientConfig()
+        self.stats = ClientStats()
+        # Structured tracing (repro.tracing.Tracer); no-op by default.
+        self.tracer = NULL_TRACER
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        self._recovering: set[int] = set()
+        self._recovering_lock = threading.Lock()
+        # ntids of completed writes, awaiting garbage collection
+        # (Fig. 5 line 21 / Fig. 7); consumed by GcManager.
+        self.gc_pending: dict[int, dict[int, set[Tid]]] = {}
+        self._gc_lock = threading.Lock()
+        transport.register(client_id)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def code(self):
+        return self.meta.code
+
+    @property
+    def k(self) -> int:
+        return self.meta.code.k
+
+    @property
+    def n(self) -> int:
+        return self.meta.code.n
+
+    def _next_tid(self, index: int) -> Tid:
+        with self._seq_lock:
+            self._seq += 1
+            return Tid(seq=self._seq, index=index, client=self.client_id)
+
+    def _addr(self, stripe: int, index: int) -> BlockAddr:
+        return BlockAddr(self.volume, stripe, index)
+
+    def _slot(self, stripe: int, index: int) -> int:
+        return self.meta.layout.node_of_stripe_index(stripe, index)
+
+    def _proxy(self, stripe: int, index: int) -> NodeProxy:
+        node_id = self.directory.node_id(self._slot(stripe, index))
+        return NodeProxy(self.transport, self.client_id, node_id)
+
+    def _remap(self, stripe: int, index: int, failed: str) -> None:
+        """Point the failed node's slot at a fresh replacement (§3.5)."""
+        self.stats.bump("remaps")
+        self.tracer.emit(self.client_id, "remap", stripe=stripe, index=index,
+                         failed=failed)
+        self.directory.remap(self._slot(stripe, index), failed)
+
+    def _call(self, stripe: int, index: int, op: str, *args, **kwargs):
+        """RPC to the node serving stripe position ``index``; on fail-stop
+        detection, remap and re-raise so the caller enters recovery."""
+        proxy = self._proxy(stripe, index)
+        try:
+            return proxy.call(op, *args, **kwargs)
+        except NodeUnavailableError as exc:
+            if exc.node_id == proxy.dst:
+                self._remap(stripe, index, proxy.dst)
+            raise
+
+    # ------------------------------------------------------------------
+    # READ — Fig. 4
+    # ------------------------------------------------------------------
+
+    def read(self, stripe: int, index: int) -> np.ndarray:
+        """Read data block ``index`` (< k) of ``stripe``."""
+        if not 0 <= index < self.k:
+            raise IndexError(f"data index {index} out of range for k={self.k}")
+        addr = self._addr(stripe, index)
+        self.stats.bump("reads")
+        for attempt in range(self.config.max_op_attempts):
+            try:
+                result = self._call(stripe, index, "read", addr)
+            except NodeUnavailableError:
+                if self.config.degraded_reads:
+                    value = self.read_degraded(stripe, index)
+                    if value is not None:
+                        return value
+                self._start_recovery(stripe)
+                continue
+            if result.block is not None:
+                return result.block
+            if result.lmode in (LockMode.UNL, LockMode.EXP):
+                if self.config.degraded_reads:
+                    value = self.read_degraded(stripe, index)
+                    if value is not None:
+                        return value
+                # Nobody is running recovery; we do it, then retry.
+                self._start_recovery(stripe)
+            else:
+                # Another client's recovery holds the lock; wait it out.
+                time.sleep(self.config.backoff_for(attempt))
+        raise ReadFailedError(
+            f"read of {addr} failed after {self.config.max_op_attempts} attempts"
+        )
+
+    def read_degraded(self, stripe: int, index: int) -> np.ndarray | None:
+        """Decode data block ``index`` from surviving blocks, read-only.
+
+        Extension beyond the paper (its reads always trigger full
+        recovery, §3.5): snapshot all reachable nodes, select a
+        consistent subset via the same tid-bookkeeping oracle recovery
+        uses, and decode the requested block from it — no locks taken,
+        nothing written back, so the stripe's redundancy is *not*
+        restored.  Returns None when no consistent subset of size k is
+        currently available (caller falls back to recovery).
+
+        Consistency note: the consistent-set conditions guarantee the
+        decoded value reflects a single write history, so the result is
+        a value some prefix of completed/in-flight writes produced —
+        within the §3.1 regular-register guarantee.
+        """
+        data: dict[int, StateSnapshot] = {}
+        for j in range(self.n):
+            try:
+                data[j] = self._call(
+                    stripe, j, "get_state", self._addr(stripe, j)
+                )
+            except NodeUnavailableError:
+                continue
+        cset = find_consistent(data, self.k)
+        if len(cset) < self.k:
+            return None
+        if index in cset and data[index].block is not None:
+            return data[index].block
+        available = {j: data[j].block for j in cset if data[j].block is not None}
+        if len(available) < self.k:
+            return None
+        self.tracer.emit(self.client_id, "read.degraded", stripe=stripe,
+                         index=index)
+        return self.code.decode(available)[index]
+
+    # ------------------------------------------------------------------
+    # WRITE — Fig. 5
+    # ------------------------------------------------------------------
+
+    def write(self, stripe: int, index: int, value: np.ndarray) -> None:
+        """Write ``value`` into data block ``index`` (< k) of ``stripe``."""
+        if not 0 <= index < self.k:
+            raise IndexError(f"data index {index} out of range for k={self.k}")
+        value = np.asarray(value, dtype=np.uint8)
+        if value.shape != (self.meta.block_size,):
+            raise ValueError(
+                f"value must be exactly {self.meta.block_size} bytes, "
+                f"got shape {value.shape}"
+            )
+        self.stats.bump("writes")
+        redundant = tuple(range(self.k, self.n))
+        full = frozenset((index,) + redundant)
+        for _ in range(self.config.max_write_attempts):
+            self.stats.bump("write_attempts")
+            ntid = self._next_tid(index)
+            swap = self._swap_until_valid(stripe, index, value, ntid)
+            if swap is None:
+                continue  # recovery intervened; retry with a fresh tid
+            diff = gf.sub_block(value, swap.block)  # v - w, to be scaled
+            done = self._run_adds(
+                stripe, index, ntid, swap, diff, redundant
+            )
+            if done == full:
+                self._note_completed(stripe, ntid, done)
+                return
+        raise WriteAbortedError(
+            f"write to stripe {stripe} block {index} exhausted "
+            f"{self.config.max_write_attempts} attempts"
+        )
+
+    def _swap_until_valid(
+        self, stripe: int, index: int, value: np.ndarray, ntid: Tid
+    ) -> SwapResult | None:
+        """Fig. 5 lines 3-6: swap, running recovery when the node is out
+        of service.  Returns None if attempts ran out this round."""
+        addr = self._addr(stripe, index)
+        for attempt in range(self.config.max_op_attempts):
+            try:
+                swap = self._call(stripe, index, "swap", addr, value, ntid)
+            except NodeUnavailableError:
+                self._start_recovery(stripe)
+                continue
+            if swap.block is not None:
+                return swap
+            if swap.lmode in (LockMode.UNL, LockMode.EXP):
+                self._start_recovery(stripe)
+            else:
+                time.sleep(self.config.backoff_for(attempt))
+        return None
+
+    def _run_adds(
+        self,
+        stripe: int,
+        index: int,
+        ntid: Tid,
+        swap: SwapResult,
+        diff: np.ndarray,
+        redundant: tuple[int, ...],
+    ) -> frozenset[int]:
+        """Fig. 5 lines 7-20: drive adds until done, retrying ORDER and
+        handling failures.  Returns the set D of updated positions."""
+        otid = swap.otid
+        epoch = swap.epoch
+        todo: set[int] = set(redundant)
+        done: set[int] = {index}
+        order_spins = 0
+        for spin in range(self.config.max_op_attempts):
+            if not todo or not done:
+                break
+            results = self._issue_adds(stripe, ntid, otid, epoch, diff, todo)
+            crashed: set[int] = set()
+            normal: dict[int, AddResult] = {}
+            for j, res in results.items():
+                if isinstance(res, AddResult):
+                    normal[j] = res
+                else:  # fail-stop detected mid-batch
+                    crashed.add(j)
+            done |= {j for j, r in normal.items() if r.status is AddStatus.OK}
+            retry = {
+                j
+                for j, r in normal.items()
+                if r.status is AddStatus.ORDER
+                or r.lmode not in (LockMode.UNL, LockMode.L0)
+            }
+            saw_order = any(r.status is AddStatus.ORDER for r in normal.values())
+            needs_recovery = (
+                bool(crashed)
+                or any(r.lmode is LockMode.EXP for r in normal.values())
+                or any(
+                    r.opmode is not OpMode.NORM and r.lmode is LockMode.UNL
+                    for r in normal.values()
+                )
+                or (saw_order and order_spins >= self.config.order_retry_limit)
+            )
+            if needs_recovery:
+                self._start_recovery(stripe)
+                order_spins = 0
+            if saw_order:
+                self.stats.bump("order_retries")
+                self.tracer.emit(self.client_id, "write.order_retry",
+                                 stripe=stripe, tid=str(ntid))
+                order_spins += 1
+                otid, done = self._check_ordering(stripe, ntid, otid, done)
+                time.sleep(self.config.backoff_for(order_spins))
+            elif retry:
+                time.sleep(self.config.backoff_for(spin))
+            todo = retry
+        return frozenset(done)
+
+    def _issue_adds(
+        self,
+        stripe: int,
+        ntid: Tid,
+        otid: Tid | None,
+        epoch: int,
+        diff: np.ndarray,
+        targets: set[int],
+    ) -> dict[int, AddResult | Exception]:
+        """Dispatch adds per the configured strategy.
+
+        For unicast strategies the client scales the diff by alpha_{ji}
+        itself; for BROADCAST it ships the raw diff once and nodes apply
+        their own coefficients (§3.11).
+        """
+        strategy = self.config.strategy
+        if strategy is WriteStrategy.BROADCAST:
+            return self._broadcast_adds(stripe, ntid, otid, epoch, diff, targets)
+
+        def one(j: int) -> AddResult:
+            payload = gf.mul_block(self.code.coefficient(j, ntid.index), diff)
+            return self._call(
+                stripe, j, "add", self._addr(stripe, j), payload, ntid, otid, epoch
+            )
+
+        ordered = sorted(targets)
+        if strategy is WriteStrategy.SERIAL:
+            results: dict[int, AddResult | Exception] = {}
+            for j in ordered:
+                try:
+                    results[j] = one(j)
+                except NodeUnavailableError as exc:
+                    results[j] = exc
+            return results
+        if strategy is WriteStrategy.PARALLEL:
+            return pfor(ordered, one)
+        if strategy is WriteStrategy.HYBRID:
+            size = max(1, self.config.hybrid_group_size)
+            results = {}
+            for start in range(0, len(ordered), size):
+                group = ordered[start : start + size]
+                results.update(pfor(group, one))
+            return results
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    def _broadcast_adds(
+        self,
+        stripe: int,
+        ntid: Tid,
+        otid: Tid | None,
+        epoch: int,
+        diff: np.ndarray,
+        targets: set[int],
+    ) -> dict[int, AddResult | Exception]:
+        addr = self._addr(stripe, BROADCAST_INDEX)
+        by_node = {
+            self.directory.node_id(self._slot(stripe, j)): j for j in sorted(targets)
+        }
+        raw = self.transport.broadcast(
+            self.client_id, list(by_node), "add", addr, diff, ntid, otid, epoch
+        )
+        results: dict[int, AddResult | Exception] = {}
+        for node_id, res in raw.items():
+            j = by_node[node_id]
+            if isinstance(res, NodeUnavailableError):
+                self._remap(stripe, j, node_id)
+            results[j] = res
+        return results
+
+    def _check_ordering(
+        self, stripe: int, ntid: Tid, otid: Tid | None, done: set[int]
+    ) -> tuple[Tid | None, set[int]]:
+        """Fig. 5 lines 15-19: on ORDER, ask done nodes whether the
+        previous write's tid was garbage collected (write completed) and
+        drop crashed nodes from D."""
+
+        def check(j: int) -> CheckTidStatus:
+            return self._call(
+                stripe, j, "checktid", self._addr(stripe, j), ntid, otid
+            )
+
+        results = pfor(sorted(done), check)
+        statuses = {
+            j: r for j, r in results.items() if isinstance(r, CheckTidStatus)
+        }
+        if any(r is CheckTidStatus.GC for r in statuses.values()):
+            otid = None  # previous write known complete; stop ordering
+        done = done - {j for j, r in statuses.items() if r is CheckTidStatus.INIT}
+        # Unreachable nodes also leave D (they have crashed).
+        done -= {j for j, r in results.items() if not isinstance(r, CheckTidStatus)}
+        return otid, done
+
+    def _note_completed(self, stripe: int, ntid: Tid, done: frozenset[int]) -> None:
+        """Record a completed write for two-phase GC (Fig. 5 line 21)."""
+        with self._gc_lock:
+            per_stripe = self.gc_pending.setdefault(stripe, {})
+            for j in done:
+                per_stripe.setdefault(j, set()).add(ntid)
+
+    # ------------------------------------------------------------------
+    # Recovery — Fig. 6
+    # ------------------------------------------------------------------
+
+    def _start_recovery(self, stripe: int) -> None:
+        """Fig. 6 start_recovery: run recover() unless this client is
+        already recovering this stripe (another local thread)."""
+        with self._recovering_lock:
+            if stripe in self._recovering:
+                return
+            self._recovering.add(stripe)
+        try:
+            self.stats.bump("recoveries_started")
+            self.tracer.emit(self.client_id, "recovery.begin", stripe=stripe)
+            if self.recover(stripe):
+                self.stats.bump("recoveries_completed")
+                self.tracer.emit(self.client_id, "recovery.end", stripe=stripe)
+            else:
+                self.stats.bump("recoveries_yielded")
+                self.tracer.emit(self.client_id, "recovery.yield", stripe=stripe)
+                # Lost the lock race; give the winner time to finish.
+                time.sleep(self.config.backoff)
+        finally:
+            with self._recovering_lock:
+                self._recovering.discard(stripe)
+
+    def recover(self, stripe: int) -> bool:
+        """Run the three-phase recovery of Fig. 6 on one stripe.
+
+        Returns False if another client holds the recovery locks (we
+        back off); True once the stripe is reconstructed and unlocked.
+        Raises :class:`DataLossError` when fewer than k consistent
+        blocks exist (beyond the failure model)."""
+        if not self._phase1_lock_all(stripe):
+            return False
+        try:
+            data, cset = self._phase2_find_consistent(stripe)
+            self.tracer.emit(self.client_id, "recovery.consistent_set",
+                             stripe=stripe, cset=sorted(cset))
+            self._phase3_reconstruct(stripe, data, cset)
+        except Exception:
+            # Leave locks in place only if we crashed for real; on a
+            # clean error path unlock so the system is not wedged.
+            self._unlock_all(stripe)
+            raise
+        return True
+
+    def _phase1_lock_all(self, stripe: int) -> bool:
+        """Acquire L1 on all n blocks in index order; on conflict release
+        what we got and yield to the other recoverer."""
+        acquired: list[tuple[int, LockMode]] = []
+        for j in range(self.n):
+            result = None
+            for _ in range(self.config.max_op_attempts):
+                try:
+                    result = self._call(
+                        stripe,
+                        j,
+                        "trylock",
+                        self._addr(stripe, j),
+                        LockMode.L1,
+                        caller=self.client_id,
+                    )
+                    break
+                except NodeUnavailableError:
+                    continue  # remapped inside _call; retry on fresh node
+            if result is None or not result.ok:
+                def release(item: tuple[int, LockMode]) -> None:
+                    pos, old = item
+                    try:
+                        self._call(
+                            stripe,
+                            pos,
+                            "setlock",
+                            self._addr(stripe, pos),
+                            old,
+                            caller=self.client_id,
+                        )
+                    except NodeUnavailableError:
+                        pass
+                pfor(acquired, release)
+                return False
+            acquired.append((j, result.oldlmode))
+        return True
+
+    def _get_states(self, stripe: int, indices: list[int]) -> dict[int, StateSnapshot]:
+        def fetch(j: int) -> StateSnapshot:
+            for _ in range(self.config.max_op_attempts):
+                try:
+                    return self._call(stripe, j, "get_state", self._addr(stripe, j))
+                except NodeUnavailableError:
+                    continue
+            raise NodeUnavailableError(f"slot for stripe {stripe} pos {j}")
+
+        results = pfor(indices, fetch)
+        out: dict[int, StateSnapshot] = {}
+        for j, res in results.items():
+            if isinstance(res, StateSnapshot):
+                out[j] = res
+            else:
+                raise res
+        return out
+
+    def _phase2_find_consistent(
+        self, stripe: int
+    ) -> tuple[dict[int, StateSnapshot], frozenset[int]]:
+        data = self._get_states(stripe, list(range(self.n)))
+        # Pick up a crashed recovery: someone already chose a consistent
+        # set and started writing it back (opmode RECONS).
+        for h in range(self.n):
+            if data[h].opmode is OpMode.RECONS and data[h].recons_set is not None:
+                cset = frozenset(data[h].recons_set) - {
+                    j for j in range(self.n) if data[j].opmode is OpMode.INIT
+                }
+                if len(cset) < self.k:
+                    raise DataLossError(
+                        f"stripe {stripe}: crashed recovery left only "
+                        f"{len(cset)} usable blocks (k={self.k})"
+                    )
+                return data, cset
+
+        cset = find_consistent(data, self.k)
+        slack = max(
+            0,
+            self.config.t_d
+            - sum(1 for j in range(self.n) if data[j].opmode is OpMode.INIT),
+        )
+        target = self.k + slack
+        waits = 0
+        while len(cset) < target:
+            # Weaken locks on redundant nodes so outstanding WRITEs can
+            # finish their adds and blocks become consistent.
+            self._set_locks(stripe, range(self.k, self.n), LockMode.L0)
+            while len(cset) < target:
+                waits += 1
+                if waits > self.config.recovery_wait_limit:
+                    if len(cset) >= self.k:
+                        break  # enough to decode; accept reduced slack
+                    raise DataLossError(
+                        f"stripe {stripe}: only {len(cset)} consistent blocks "
+                        f"after waiting (k={self.k})"
+                    )
+                time.sleep(self.config.backoff)
+                fresh = self._get_states(stripe, list(range(self.n)))
+                data.update(fresh)
+                cset = find_consistent(data, self.k)
+                slack = max(
+                    0,
+                    self.config.t_d
+                    - sum(1 for j in data if data[j].opmode is OpMode.INIT),
+                )
+                target = self.k + slack
+            # Re-take full locks before new adds slip in; any redundant
+            # node whose recentlist moved is ejected and we loop again.
+            recent = {}
+            for j in range(self.k, self.n):
+                try:
+                    recent[j] = self._call(
+                        stripe,
+                        j,
+                        "getrecent",
+                        self._addr(stripe, j),
+                        LockMode.L1,
+                        caller=self.client_id,
+                    )
+                except NodeUnavailableError:
+                    recent[j] = None
+            cset = cset - {
+                j
+                for j in range(self.k, self.n)
+                if j in cset and recent.get(j) != data[j].recentlist
+            }
+            if len(cset) >= self.k and waits > self.config.recovery_wait_limit:
+                break
+        if len(cset) < self.k:
+            raise DataLossError(
+                f"stripe {stripe}: {len(cset)} consistent blocks < k={self.k}"
+            )
+        return data, cset
+
+    def _phase3_reconstruct(
+        self, stripe: int, data: dict[int, StateSnapshot], cset: frozenset[int]
+    ) -> None:
+        available = {j: data[j].block for j in cset if data[j].block is not None}
+        blocks = self.code.reconstruct_stripe(available)
+
+        def write_back(j: int) -> int:
+            for _ in range(self.config.max_op_attempts):
+                try:
+                    return self._call(
+                        stripe,
+                        j,
+                        "reconstruct",
+                        self._addr(stripe, j),
+                        cset,
+                        blocks[j],
+                    )
+                except NodeUnavailableError:
+                    continue
+            raise NodeUnavailableError(f"slot for stripe {stripe} pos {j}")
+
+        epochs = pfor(list(range(self.n)), write_back)
+        numeric = [e for e in epochs.values() if isinstance(e, int)]
+        if len(numeric) < self.n:
+            failed = [j for j, e in epochs.items() if not isinstance(e, int)]
+            raise DataLossError(
+                f"stripe {stripe}: could not write recovered blocks to {failed}"
+            )
+        new_epoch = max(numeric) + 1
+
+        def finish(j: int) -> None:
+            for _ in range(self.config.max_op_attempts):
+                try:
+                    self._call(
+                        stripe, j, "finalize", self._addr(stripe, j), new_epoch
+                    )
+                    return
+                except NodeUnavailableError:
+                    continue
+            raise NodeUnavailableError(f"slot for stripe {stripe} pos {j}")
+
+        results = pfor(list(range(self.n)), finish)
+        errors = [r for r in results.values() if isinstance(r, Exception)]
+        if errors:
+            raise errors[0]
+
+    def _set_locks(self, stripe: int, indices, lm: LockMode) -> None:
+        def one(j: int) -> None:
+            try:
+                self._call(
+                    stripe, j, "setlock", self._addr(stripe, j), lm,
+                    caller=self.client_id,
+                )
+            except NodeUnavailableError:
+                pass
+
+        pfor(list(indices), one)
+
+    def _unlock_all(self, stripe: int) -> None:
+        self._set_locks(stripe, range(self.n), LockMode.UNL)

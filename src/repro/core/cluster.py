@@ -1,0 +1,249 @@
+"""Cluster assembly: storage nodes + directory + transport + clients.
+
+This is the "distributed and reliable storage service" of Section 5.1:
+n storage-node slots behind a transport, a directory service for node
+remap, and any number of protocol clients.  It also hosts the fault
+injection used by tests and the Fig. 9d experiment (crash a storage
+node / crash a client mid-write) and whole-stripe invariant checks.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.client.config import ClientConfig
+from repro.client.protocol import ProtocolClient
+from repro.core.volume import VolumeClient
+from repro.directory import Directory
+from repro.erasure.rs import ReedSolomonCode
+from repro.erasure.striping import StripeLayout
+from repro.ids import BlockAddr
+from repro.net.local import DelayModel, LocalTransport
+from repro.net.transport import Transport
+from repro.storage.node import StorageNode, VolumeMeta
+from repro.storage.server import InstrumentedServer
+from repro.storage.state import OpMode
+
+
+class Cluster:
+    """An in-process deployment of the storage service."""
+
+    def __init__(
+        self,
+        k: int,
+        n: int,
+        *,
+        block_size: int = 1024,
+        rotate: bool = True,
+        volume_name: str = "vol0",
+        transport: Transport | None = None,
+        delay: DelayModel | None = None,
+        instrument: bool = False,
+        construction: str = "vandermonde",
+        seed: int = 0,
+        store_factory=None,
+    ):
+        self.code = ReedSolomonCode(k, n, construction)
+        self.layout = StripeLayout(k, n, rotate=rotate)
+        self.volume_name = volume_name
+        self.meta = VolumeMeta(
+            code=self.code, layout=self.layout, block_size=block_size
+        )
+        self._volumes: dict[str, VolumeMeta] = {volume_name: self.meta}
+        self.transport = transport or LocalTransport(delay=delay)
+        self.instrument = instrument
+        self._seed = seed
+        # Optional persistence backend per node, e.g.
+        # ``lambda slot: SimulatedDiskStore()`` for the §3.11 study.
+        self._store_factory = store_factory
+        self.stores: dict[int, object] = {}
+        self._nodes: dict[str, StorageNode] = {}
+        self._servers: dict[str, InstrumentedServer] = {}
+        self._clients: dict[str, ProtocolClient] = {}
+        self._lock = threading.Lock()
+        self.directory = Directory(self._provision)
+        for slot in range(n):
+            node_id = f"storage-{slot}"
+            self._install_node(node_id, slot, fresh=False)
+            self.directory.bind(slot, node_id)
+        # Perfect failure detector fan-out: crashed clients expire the
+        # locks they hold at every storage node (Fig. 6 "upon failure").
+        self.transport.add_failure_listener(self._on_node_failure)
+
+    # ------------------------------------------------------------------
+    # node lifecycle
+    # ------------------------------------------------------------------
+
+    def _install_node(self, node_id: str, slot: int, fresh: bool) -> StorageNode:
+        store = None
+        if self._store_factory is not None:
+            store = self._store_factory(slot)
+            self.stores[slot] = store
+        node = StorageNode(
+            node_id=node_id,
+            slot=slot,
+            volumes=dict(self._volumes),
+            fresh=fresh,
+            seed=self._seed + slot * 1009 + (1 if fresh else 0),
+            store=store,
+        )
+        handler: StorageNode | InstrumentedServer = node
+        if self.instrument:
+            server = InstrumentedServer(node)
+            handler = server
+            with self._lock:
+                self._servers[node_id] = server
+        self.transport.register(node_id, handler)
+        with self._lock:
+            self._nodes[node_id] = node
+        return node
+
+    def _provision(self, slot: int, incarnation: int) -> str:
+        """Directory callback: bring up a fresh replacement node (§3.5)."""
+        node_id = f"storage-{slot}.{incarnation}"
+        self._install_node(node_id, slot, fresh=True)
+        return node_id
+
+    def _on_node_failure(self, failed_id: str) -> None:
+        with self._lock:
+            nodes = list(self._nodes.values())
+        for node in nodes:
+            node.on_client_failure(failed_id)
+
+    # ------------------------------------------------------------------
+    # clients
+    # ------------------------------------------------------------------
+
+    def add_volume(self, name: str, block_size: int | None = None) -> None:
+        """Create another logical volume on the same storage nodes.
+
+        Volumes share the cluster's code and layout but have disjoint
+        block namespaces (and may differ in block size) — the way one
+        disk array serves many virtual disks."""
+        with self._lock:
+            if name in self._volumes:
+                raise ValueError(f"volume {name!r} already exists")
+            meta = VolumeMeta(
+                code=self.code,
+                layout=self.layout,
+                block_size=block_size or self.meta.block_size,
+            )
+            self._volumes[name] = meta
+            for node in self._nodes.values():
+                node.volumes[name] = meta
+
+    def volume_meta(self, volume: str | None = None) -> VolumeMeta:
+        with self._lock:
+            return self._volumes[volume or self.volume_name]
+
+    def protocol_client(
+        self,
+        name: str,
+        config: ClientConfig | None = None,
+        volume: str | None = None,
+    ) -> ProtocolClient:
+        """A raw protocol client (stripe-level API)."""
+        volume = volume or self.volume_name
+        client = ProtocolClient(
+            client_id=name,
+            transport=self.transport,
+            directory=self.directory,
+            volume=volume,
+            meta=self.volume_meta(volume),
+            config=config,
+        )
+        with self._lock:
+            self._clients[name] = client
+        return client
+
+    def client(
+        self,
+        name: str,
+        config: ClientConfig | None = None,
+        volume: str | None = None,
+    ) -> VolumeClient:
+        """A block-interface client (the public application API)."""
+        return VolumeClient(self.protocol_client(name, config, volume), self.layout)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def crash_storage(self, slot: int) -> str:
+        """Fail-stop the node currently serving ``slot``; returns its id."""
+        node_id = self.directory.node_id(slot)
+        self.transport.crash(node_id)
+        return node_id
+
+    def crash_client(self, client_id: str) -> None:
+        """Fail-stop a client (its in-flight operations die with it)."""
+        self.transport.crash(client_id)
+
+    # ------------------------------------------------------------------
+    # introspection / invariants
+    # ------------------------------------------------------------------
+
+    def node_for_slot(self, slot: int) -> StorageNode:
+        """The live node object behind a slot (tests only)."""
+        node_id = self.directory.node_id(slot)
+        with self._lock:
+            return self._nodes[node_id]
+
+    def stripe_blocks(self, stripe: int, volume: str | None = None) -> list[np.ndarray]:
+        """Direct (non-RPC) snapshot of a stripe's n blocks, by position."""
+        volume = volume or self.volume_name
+        out = []
+        for j in range(self.code.n):
+            slot = self.layout.node_of_stripe_index(stripe, j)
+            node = self.node_for_slot(slot)
+            out.append(node.peek(BlockAddr(volume, stripe, j)).block.copy())
+        return out
+
+    def stripe_consistent(self, stripe: int, volume: str | None = None) -> bool:
+        """Quiescent invariant: the stripe satisfies the code equations.
+
+        Only meaningful when no operation is in flight on the stripe and
+        no block is INIT (garbage is, by design, inconsistent)."""
+        volume = volume or self.volume_name
+        for j in range(self.code.n):
+            slot = self.layout.node_of_stripe_index(stripe, j)
+            state = self.node_for_slot(slot).peek(BlockAddr(volume, stripe, j))
+            if state.opmode is not OpMode.NORM:
+                return False
+        return self.code.is_consistent_stripe(self.stripe_blocks(stripe, volume))
+
+    def metadata_bytes(self) -> int:
+        """Protocol control-state across all live storage nodes (§6.5)."""
+        with self._lock:
+            nodes = [
+                self._nodes[self.directory.node_id(slot)]
+                for slot in self.directory.slots()
+            ]
+        return sum(node.metadata_bytes() for node in nodes)
+
+    def block_count(self) -> int:
+        with self._lock:
+            nodes = [
+                self._nodes[self.directory.node_id(slot)]
+                for slot in self.directory.slots()
+            ]
+        return sum(node.block_count() for node in nodes)
+
+    def service_times(self) -> dict[str, dict[str, float]]:
+        """Merged per-op service times (requires ``instrument=True``)."""
+        merged: dict[str, dict[str, float]] = {}
+        with self._lock:
+            servers = list(self._servers.values())
+        for server in servers:
+            for op, row in server.times.as_dict().items():
+                agg = merged.setdefault(op, {"count": 0, "mean": 0.0, "worst": 0.0})
+                total_before = agg["mean"] * agg["count"]
+                agg["count"] += row["count"]
+                if agg["count"]:
+                    agg["mean"] = (
+                        total_before + row["mean"] * row["count"]
+                    ) / agg["count"]
+                agg["worst"] = max(agg["worst"], row["worst"])
+        return merged

@@ -1,0 +1,99 @@
+"""Pipelined sequential I/O (§3.11).
+
+"In this way, clients can pipeline sequential I/O and get great
+bandwidth."  A single-threaded client issuing one block at a time pays
+a full protocol round trip per block; :class:`PipelinedWriter` keeps a
+window of writes in flight across worker threads — safe because
+consecutive logical blocks live on *different* storage nodes and in
+independent per-block state machines, so in-flight writes never touch
+the same block.  (Two writes to the same logical block within one
+window would race; the pipeline serializes those.)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.core.volume import VolumeClient
+
+
+class PipelinedWriter:
+    """Windowed, in-order-per-block sequential writer."""
+
+    def __init__(self, volume: VolumeClient, window: int = 8):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.volume = volume
+        self.window = window
+        self._pool = ThreadPoolExecutor(
+            max_workers=window, thread_name_prefix="pipeline"
+        )
+        self._in_flight: dict[int, Future] = {}
+        self._lock = threading.Lock()
+        self._errors: list[Exception] = []
+
+    # -- internals ----------------------------------------------------------
+
+    def _submit(self, logical: int, data: bytes) -> None:
+        with self._lock:
+            predecessor = self._in_flight.get(logical)
+
+        def run() -> None:
+            if predecessor is not None:
+                predecessor.exception()  # wait; error recorded already
+            try:
+                self.volume.write_block(logical, data)
+            except Exception as exc:
+                with self._lock:
+                    self._errors.append(exc)
+                raise
+
+        future = self._pool.submit(run)
+        with self._lock:
+            self._in_flight[logical] = future
+
+    def _wait_for_room(self) -> None:
+        while True:
+            with self._lock:
+                pending = [f for f in self._in_flight.values() if not f.done()]
+                if len(pending) < self.window:
+                    return
+                oldest = pending[0]
+            oldest.exception()  # block until one slot frees
+
+    # -- public API -----------------------------------------------------------
+
+    def write(self, logical: int, data: bytes) -> None:
+        """Queue one block write; blocks only when the window is full."""
+        self._wait_for_room()
+        self._submit(logical, data)
+
+    def write_blocks(self, start: int, blocks: Sequence[bytes]) -> None:
+        for offset, data in enumerate(blocks):
+            self.write(start + offset, data)
+
+    def flush(self) -> None:
+        """Wait for every queued write; raises the first error seen."""
+        with self._lock:
+            futures = list(self._in_flight.values())
+            self._in_flight.clear()
+        for future in futures:
+            future.exception()
+        with self._lock:
+            if self._errors:
+                raise self._errors[0]
+
+    def close(self) -> None:
+        self.flush()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PipelinedWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self._pool.shutdown(wait=False)

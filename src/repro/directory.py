@@ -1,0 +1,78 @@
+"""Directory service: logical storage slots -> physical nodes (§3.5).
+
+Clients never hard-code storage-node identities; they ask the directory
+for the node currently serving slot ``s``.  When a node fails and "a
+fresh replacement storage node is available", :meth:`Directory.remap`
+provisions one (via a cluster-supplied callback) and repoints the slot.
+The replacement starts with ``opmode = INIT`` everywhere — its "data
+valid" flag off — which is what pushes the next accessor into recovery.
+
+Remap is idempotent under races: two clients that both detect the same
+crash get the same replacement.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+
+from repro.errors import ReproError
+
+#: provisioner(slot, incarnation) -> node id of a freshly registered node.
+Provisioner = Callable[[int, int], str]
+
+
+class UnknownSlotError(ReproError):
+    """A slot number outside the configured storage set."""
+
+
+class Directory:
+    """Thread-safe slot -> node-id mapping with failure remap."""
+
+    def __init__(self, provisioner: Provisioner):
+        self._provisioner = provisioner
+        self._map: dict[int, str] = {}
+        self._incarnation: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def bind(self, slot: int, node_id: str) -> None:
+        """Initial binding of a slot to its first physical node."""
+        with self._lock:
+            self._map[slot] = node_id
+            self._incarnation.setdefault(slot, 0)
+
+    def node_id(self, slot: int) -> str:
+        """Current physical node for ``slot``."""
+        with self._lock:
+            try:
+                return self._map[slot]
+            except KeyError:
+                raise UnknownSlotError(f"slot {slot} is not bound") from None
+
+    def incarnation(self, slot: int) -> int:
+        """How many times ``slot`` has been remapped (0 = original node)."""
+        with self._lock:
+            return self._incarnation.get(slot, 0)
+
+    def slots(self) -> list[int]:
+        with self._lock:
+            return sorted(self._map)
+
+    def remap(self, slot: int, failed_node_id: str) -> str:
+        """Replace a failed node; idempotent against concurrent callers.
+
+        Only remaps if ``failed_node_id`` is still the slot's current
+        binding — a racing client that already remapped wins, and we
+        simply return the fresh binding.
+        """
+        with self._lock:
+            current = self._map.get(slot)
+            if current is None:
+                raise UnknownSlotError(f"slot {slot} is not bound")
+            if current != failed_node_id:
+                return current  # somebody already remapped
+            incarnation = self._incarnation.get(slot, 0) + 1
+            fresh = self._provisioner(slot, incarnation)
+            self._map[slot] = fresh
+            self._incarnation[slot] = incarnation
+            return fresh

@@ -1,0 +1,156 @@
+"""Dense matrix algebra over GF(2^8).
+
+Matrices are numpy ``uint8`` arrays.  Only the handful of operations the
+erasure-code layer needs are provided: multiply, invert (Gauss-Jordan),
+and the Vandermonde / Cauchy constructions used to build systematic MDS
+generator matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf import field
+from repro.gf.tables import FIELD_SIZE, MUL_TABLE
+
+
+class SingularMatrixError(ValueError):
+    """Raised when inverting a singular matrix."""
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2^8).
+
+    Row-by-row accumulation through the multiplication table; fine for
+    the small (n x k) matrices erasure codes use.
+    """
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} x {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for i in range(a.shape[0]):
+        acc = np.zeros(b.shape[1], dtype=np.uint8)
+        for j in range(a.shape[1]):
+            coeff = int(a[i, j])
+            if coeff:
+                np.bitwise_xor(acc, MUL_TABLE[coeff][b[j]], out=acc)
+        out[i] = acc
+    return out
+
+
+def matvec_blocks(m: np.ndarray, blocks: list[np.ndarray]) -> list[np.ndarray]:
+    """Apply matrix ``m`` to a vector of data *blocks*.
+
+    ``blocks[j]`` is a uint8 array; returns ``len(m)`` output blocks
+    where ``out[i] = sum_j m[i,j] * blocks[j]``.  This is the encode /
+    decode workhorse.
+    """
+    if m.shape[1] != len(blocks):
+        raise ValueError(f"matrix has {m.shape[1]} columns, got {len(blocks)} blocks")
+    out: list[np.ndarray] = []
+    for i in range(m.shape[0]):
+        acc = np.zeros_like(blocks[0])
+        for j, blk in enumerate(blocks):
+            field.addmul_block(acc, int(m[i, j]), blk)
+        out.append(acc)
+    return out
+
+
+def identity(n: int) -> np.ndarray:
+    """The n x n identity matrix over GF(2^8)."""
+    return np.eye(n, dtype=np.uint8)
+
+
+def invert(m: np.ndarray) -> np.ndarray:
+    """Invert a square matrix by Gauss-Jordan elimination.
+
+    Raises :class:`SingularMatrixError` when no inverse exists.
+    """
+    n = m.shape[0]
+    if m.shape != (n, n):
+        raise ValueError(f"matrix must be square, got {m.shape}")
+    work = m.astype(np.uint8).copy()
+    inverse = identity(n)
+    for col in range(n):
+        pivot_row = next(
+            (r for r in range(col, n) if work[r, col] != 0),
+            None,
+        )
+        if pivot_row is None:
+            raise SingularMatrixError(f"matrix is singular at column {col}")
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+            inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
+        pivot_inv = field.inv(int(work[col, col]))
+        work[col] = MUL_TABLE[pivot_inv][work[col]]
+        inverse[col] = MUL_TABLE[pivot_inv][inverse[col]]
+        for row in range(n):
+            if row == col or work[row, col] == 0:
+                continue
+            factor = int(work[row, col])
+            np.bitwise_xor(work[row], MUL_TABLE[factor][work[col]], out=work[row])
+            np.bitwise_xor(
+                inverse[row], MUL_TABLE[factor][inverse[col]], out=inverse[row]
+            )
+    return inverse
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """Vandermonde matrix V[i, j] = i^j over GF(2^8) (0^0 == 1).
+
+    Any ``cols`` distinct rows are linearly independent, which is what
+    makes the derived code MDS.
+    """
+    if rows > FIELD_SIZE:
+        raise ValueError(f"at most {FIELD_SIZE} distinct evaluation points")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = field.pow_(i, j) if i or j == 0 else 0
+    # pow_(0, 0) == 1 handles the first row.
+    return out
+
+
+def cauchy(xs: list[int], ys: list[int]) -> np.ndarray:
+    """Cauchy matrix C[i, j] = 1 / (xs[i] + ys[j]).
+
+    Requires all ``xs[i] + ys[j]`` nonzero, i.e. the two coordinate sets
+    disjoint.  Every square submatrix of a Cauchy matrix is invertible,
+    so it also yields MDS codes; provided as an alternative generator
+    construction.
+    """
+    out = np.zeros((len(xs), len(ys)), dtype=np.uint8)
+    for i, x in enumerate(xs):
+        for j, y in enumerate(ys):
+            denom = field.add(x, y)
+            if denom == 0:
+                raise ValueError("Cauchy coordinates must be disjoint")
+            out[i, j] = field.inv(denom)
+    return out
+
+
+def systematic_generator(n: int, k: int, construction: str = "vandermonde") -> np.ndarray:
+    """Build the n x k generator of a systematic k-of-n MDS code.
+
+    The top k rows are the identity (the data blocks themselves); the
+    bottom n-k rows give the redundant-block coefficients alpha_{ji} of
+    the paper's Section 3.3.
+
+    For the Vandermonde construction we take an n x k Vandermonde matrix
+    and normalize its top k x k square to the identity by column
+    operations (which preserve the MDS property).
+    """
+    if not 1 <= k <= n <= FIELD_SIZE:
+        raise ValueError(f"need 1 <= k <= n <= {FIELD_SIZE}, got k={k} n={n}")
+    if construction == "vandermonde":
+        v = vandermonde(n, k)
+        top_inv = invert(v[:k, :k])
+        gen = matmul(v, top_inv)
+    elif construction == "cauchy":
+        xs = list(range(k, n))
+        ys = list(range(k))
+        gen = np.vstack([identity(k), cauchy(xs, ys)])
+    else:
+        raise ValueError(f"unknown construction {construction!r}")
+    if not np.array_equal(gen[:k], identity(k)):
+        raise AssertionError("generator is not systematic")
+    return gen

@@ -1,0 +1,106 @@
+"""Single-parity fast path (RAID-5-style k-of-(k+1)).
+
+For p = 1 every coefficient is 1 and all arithmetic collapses to XOR —
+no table lookups at all.  :class:`ParityCode` offers the same interface
+as :class:`~repro.erasure.rs.ReedSolomonCode` so the protocol stack can
+use it interchangeably; it exists because single parity is the
+degenerate case the paper's intro starts from ("Single parity used in
+RAID systems no longer provides sufficient protection in all cases"),
+and as a performance ablation of the GF-multiply cost.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.erasure.rs import DecodeError
+from repro.gf import field
+
+
+class ParityCode:
+    """k-of-(k+1) XOR parity; drop-in subset of ReedSolomonCode's API."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.n = k + 1
+        self.construction = "parity"
+
+    @property
+    def redundancy(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ParityCode(k={self.k})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ParityCode) and other.k == self.k
+
+    def __hash__(self) -> int:
+        return hash(("parity", self.k))
+
+    # -- encode ----------------------------------------------------------
+
+    def coefficient(self, j: int, i: int) -> int:
+        if not 0 <= j < self.n:
+            raise IndexError(f"stripe index {j} out of range")
+        if not 0 <= i < self.k:
+            raise IndexError(f"data index {i} out of range")
+        if j < self.k:
+            return 1 if i == j else 0
+        return 1  # the parity row is all ones
+
+    def encode_redundant(self, data_blocks: list[np.ndarray]) -> list[np.ndarray]:
+        self._check(data_blocks)
+        parity = np.zeros_like(data_blocks[0])
+        for blk in data_blocks:
+            np.bitwise_xor(parity, blk, out=parity)
+        return [parity]
+
+    def encode(self, data_blocks: list[np.ndarray]) -> list[np.ndarray]:
+        return [b.copy() for b in data_blocks] + self.encode_redundant(data_blocks)
+
+    def delta(self, j: int, i: int, new: np.ndarray, old: np.ndarray) -> np.ndarray:
+        coeff = self.coefficient(j, i)
+        if coeff == 0:
+            return np.zeros_like(new)
+        return np.bitwise_xor(new, old)
+
+    # -- decode ----------------------------------------------------------
+
+    def decode(self, available: Mapping[int, np.ndarray]) -> list[np.ndarray]:
+        if len(available) < self.k:
+            raise DecodeError(f"need at least k={self.k} blocks")
+        present = set(available)
+        missing_data = [i for i in range(self.k) if i not in present]
+        if not missing_data:
+            return [available[i].copy() for i in range(self.k)]
+        if len(missing_data) > 1 or self.k not in present:
+            raise DecodeError("single parity recovers at most one lost block")
+        lost = missing_data[0]
+        rebuilt = available[self.k].copy()
+        for i in range(self.k):
+            if i != lost:
+                np.bitwise_xor(rebuilt, available[i], out=rebuilt)
+        out = []
+        for i in range(self.k):
+            out.append(rebuilt if i == lost else available[i].copy())
+        return out
+
+    def reconstruct_stripe(self, available: Mapping[int, np.ndarray]) -> list[np.ndarray]:
+        data = self.decode(available)
+        return data + self.encode_redundant(data)
+
+    def is_consistent_stripe(self, stripe: list[np.ndarray]) -> bool:
+        if len(stripe) != self.n:
+            raise ValueError(f"expected n={self.n} blocks")
+        return field.blocks_equal(
+            self.encode_redundant(stripe[: self.k])[0], stripe[self.k]
+        )
+
+    def _check(self, data_blocks: list[np.ndarray]) -> None:
+        if len(data_blocks) != self.k:
+            raise ValueError(f"expected k={self.k} blocks, got {len(data_blocks)}")

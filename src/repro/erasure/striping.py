@@ -1,0 +1,112 @@
+"""Logical-block to stripe/node layout, with redundancy rotation.
+
+Section 3.11: "consecutive blocks are mapped to different storage nodes
+and different stripes, and the redundant blocks rotate with each stripe,
+thus avoiding bottlenecks."
+
+A :class:`StripeLayout` maps a logical block number (what applications
+see) to:
+
+* its stripe number,
+* its data position ``i`` within the stripe (0..k-1),
+* the physical storage node holding that data block, and
+* the physical nodes holding the stripe's redundant blocks,
+
+rotating the roles so every node carries its fair share of redundant
+blocks.  With rotation disabled the last ``n-k`` nodes always hold the
+redundancy (plain RAID-4-style layout) — kept for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """Where one logical block lives."""
+
+    logical: int
+    stripe: int
+    data_index: int  # position i within the stripe, 0-based, < k
+    node: int  # physical storage node holding the data block
+    redundant_nodes: tuple[int, ...]  # physical nodes holding redundancy
+
+
+class StripeLayout:
+    """Maps logical blocks onto n storage nodes under a k-of-n code."""
+
+    def __init__(self, k: int, n: int, rotate: bool = True):
+        if not 1 <= k < n:
+            raise ValueError(f"need 1 <= k < n, got k={k} n={n}")
+        self.k = k
+        self.n = n
+        self.rotate = rotate
+
+    def stripe_of(self, logical: int) -> int:
+        """Stripe number containing logical block ``logical``."""
+        self._check(logical)
+        return logical // self.k
+
+    def data_index_of(self, logical: int) -> int:
+        """Position of the block within its stripe (0..k-1).
+
+        Consecutive logical blocks get consecutive positions, hence
+        different storage nodes — this is what lets sequential I/O
+        pipeline across nodes.
+        """
+        self._check(logical)
+        return logical % self.k
+
+    def node_of_stripe_index(self, stripe: int, stripe_index: int) -> int:
+        """Physical node holding stripe position ``stripe_index`` (0..n-1)."""
+        if not 0 <= stripe_index < self.n:
+            raise ValueError(f"stripe index {stripe_index} out of range")
+        if not self.rotate:
+            return stripe_index
+        return (stripe_index + stripe) % self.n
+
+    def locate(self, logical: int) -> BlockLocation:
+        """Full placement for a logical block."""
+        stripe = self.stripe_of(logical)
+        data_index = self.data_index_of(logical)
+        node = self.node_of_stripe_index(stripe, data_index)
+        redundant = tuple(
+            self.node_of_stripe_index(stripe, j) for j in range(self.k, self.n)
+        )
+        return BlockLocation(
+            logical=logical,
+            stripe=stripe,
+            data_index=data_index,
+            node=node,
+            redundant_nodes=redundant,
+        )
+
+    def stripe_nodes(self, stripe: int) -> tuple[int, ...]:
+        """Physical nodes for stripe positions 0..n-1, in stripe order."""
+        return tuple(self.node_of_stripe_index(stripe, j) for j in range(self.n))
+
+    def logical_blocks_of_stripe(self, stripe: int) -> range:
+        """Logical block numbers stored in ``stripe``."""
+        if stripe < 0:
+            raise ValueError(f"stripe must be >= 0, got {stripe}")
+        return range(stripe * self.k, (stripe + 1) * self.k)
+
+    def redundancy_share(self, node: int, stripes: int) -> float:
+        """Fraction of the first ``stripes`` stripes for which ``node``
+        holds a redundant block.  With rotation this approaches
+        (n-k)/n for every node; without it, it is 0 or 1."""
+        if not 0 <= node < self.n:
+            raise ValueError(f"node {node} out of range")
+        if stripes <= 0:
+            raise ValueError("stripes must be positive")
+        count = 0
+        for stripe in range(stripes):
+            nodes = self.stripe_nodes(stripe)
+            if node in nodes[self.k :]:
+                count += 1
+        return count / stripes
+
+    def _check(self, logical: int) -> None:
+        if logical < 0:
+            raise ValueError(f"logical block must be >= 0, got {logical}")

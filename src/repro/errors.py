@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class NodeUnavailableError(ReproError):
+    """An RPC target has crashed or is unreachable (fail-stop model).
+
+    Under the paper's fail-stop assumption this is *detectable*: callers
+    may treat it as authoritative evidence of failure and begin node
+    remap / recovery.
+    """
+
+    def __init__(self, node_id: str, reason: str = "crashed"):
+        super().__init__(f"node {node_id!r} unavailable: {reason}")
+        self.node_id = node_id
+        self.reason = reason
+
+
+class PartitionedError(NodeUnavailableError):
+    """The caller is partitioned from the target (switch failure etc.)."""
+
+    def __init__(self, src: str, dst: str):
+        super().__init__(dst, reason=f"partitioned from {src}")
+        self.src = src
+
+
+class UnknownNodeError(ReproError):
+    """RPC addressed to a node id the transport has never seen."""
+
+
+class UnknownOperationError(ReproError):
+    """RPC named an operation the target does not implement."""
+
+
+class RecoveryFailedError(ReproError):
+    """Recovery could not complete (e.g. too many failures to decode)."""
+
+
+class DataLossError(RecoveryFailedError):
+    """Fewer than k consistent blocks survive; the stripe is lost.
+
+    This is the paper's fourth limitation materializing: more than
+    t_p client partial writes combined with storage crashes.
+    """
+
+
+class WriteAbortedError(ReproError):
+    """A WRITE exhausted its retry budget without completing."""
+
+
+class ReadFailedError(ReproError):
+    """A READ exhausted its retry budget without returning a value."""

@@ -1,0 +1,46 @@
+"""GF(2^8) finite-field arithmetic substrate.
+
+Everything higher up (Reed-Solomon codes, storage-node ``add`` kernels,
+client Delta computation) is built on this package.
+"""
+
+from repro.gf.field import (
+    GFError,
+    add,
+    add_block,
+    addmul_block,
+    as_block,
+    blocks_equal,
+    delta_block,
+    div,
+    iadd_block,
+    inv,
+    mul,
+    mul_block,
+    pow_,
+    sub,
+    sub_block,
+)
+from repro.gf.tables import FIELD_SIZE, GENERATOR, GROUP_ORDER, PRIMITIVE_POLY
+
+__all__ = [
+    "FIELD_SIZE",
+    "GENERATOR",
+    "GROUP_ORDER",
+    "PRIMITIVE_POLY",
+    "GFError",
+    "add",
+    "add_block",
+    "addmul_block",
+    "as_block",
+    "blocks_equal",
+    "delta_block",
+    "div",
+    "iadd_block",
+    "inv",
+    "mul",
+    "mul_block",
+    "pow_",
+    "sub",
+    "sub_block",
+]

@@ -1,0 +1,90 @@
+"""Polynomials over GF(2^8).
+
+Used by the erasure-code layer for Vandermonde/Lagrange style
+constructions and by tests that cross-check matrix inversion against
+Lagrange interpolation.  Polynomials are lists of coefficients, lowest
+degree first; the zero polynomial is the empty list.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.gf import field
+
+Poly = list[int]
+
+
+def normalize(p: Sequence[int]) -> Poly:
+    """Strip trailing zero coefficients."""
+    coeffs = list(p)
+    while coeffs and coeffs[-1] == 0:
+        coeffs.pop()
+    return coeffs
+
+
+def degree(p: Sequence[int]) -> int:
+    """Degree of ``p``; the zero polynomial has degree -1."""
+    return len(normalize(p)) - 1
+
+
+def add(p: Sequence[int], q: Sequence[int]) -> Poly:
+    """Polynomial addition (coefficientwise XOR)."""
+    longer, shorter = (p, q) if len(p) >= len(q) else (q, p)
+    out = list(longer)
+    for i, c in enumerate(shorter):
+        out[i] = field.add(out[i], c)
+    return normalize(out)
+
+
+def scale(p: Sequence[int], c: int) -> Poly:
+    """Multiply every coefficient by the scalar ``c``."""
+    return normalize([field.mul(coeff, c) for coeff in p])
+
+
+def mul(p: Sequence[int], q: Sequence[int]) -> Poly:
+    """Polynomial multiplication."""
+    p = normalize(p)
+    q = normalize(q)
+    if not p or not q:
+        return []
+    out = [0] * (len(p) + len(q) - 1)
+    for i, a in enumerate(p):
+        if a == 0:
+            continue
+        for j, b in enumerate(q):
+            out[i + j] = field.add(out[i + j], field.mul(a, b))
+    return normalize(out)
+
+
+def evaluate(p: Sequence[int], x: int) -> int:
+    """Evaluate ``p`` at ``x`` by Horner's rule."""
+    result = 0
+    for coeff in reversed(normalize(p)):
+        result = field.add(field.mul(result, x), coeff)
+    return result
+
+
+def lagrange_interpolate(points: Sequence[tuple[int, int]]) -> Poly:
+    """Return the unique polynomial of degree < len(points) through ``points``.
+
+    ``points`` is a sequence of distinct ``(x, y)`` pairs.  Used as an
+    independent oracle for Reed-Solomon decoding in tests.
+    """
+    xs = [x for x, _ in points]
+    if len(set(xs)) != len(xs):
+        raise field.GFError("interpolation points must have distinct x")
+    total: Poly = []
+    for i, (xi, yi) in enumerate(points):
+        if yi == 0:
+            continue
+        basis: Poly = [1]
+        denom = 1
+        for j, (xj, _) in enumerate(points):
+            if i == j:
+                continue
+            basis = mul(basis, [xj, 1])  # (x - xj) == (x + xj) in char 2
+            denom = field.mul(denom, field.sub(xi, xj))
+        coeff = field.div(yi, denom)
+        total = add(total, scale(basis, coeff))
+    return total

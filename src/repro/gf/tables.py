@@ -1,0 +1,74 @@
+"""Discrete log/antilog tables for GF(2^8).
+
+The field GF(2^8) is built as GF(2)[x] modulo a primitive polynomial.
+We use the conventional polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D),
+the same one used by most Reed-Solomon storage systems (and the one a
+hand-optimized C implementation like the paper's would use).
+
+Multiplication is implemented via discrete logarithms: every nonzero
+element is a power of the generator ``x`` (i.e. 2), so
+
+    a * b == exp[(log[a] + log[b]) % 255]
+
+The tables are computed once at import time; the module also exposes a
+few precomputed numpy views used by the vectorized block kernels in
+:mod:`repro.gf.field`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Order of the field.
+FIELD_SIZE = 256
+
+#: Multiplicative group order.
+GROUP_ORDER = FIELD_SIZE - 1
+
+#: Primitive polynomial x^8 + x^4 + x^3 + x^2 + 1.
+PRIMITIVE_POLY = 0x11D
+
+#: Generator of the multiplicative group (the element "x").
+GENERATOR = 2
+
+
+def _build_tables(prim_poly: int) -> tuple[np.ndarray, np.ndarray]:
+    """Build (exp, log) tables for GF(2^8) under ``prim_poly``.
+
+    ``exp`` has length 512 so that ``exp[log[a] + log[b]]`` needs no
+    modular reduction for a single product (the classic trick).
+    ``log[0]`` is set to a sentinel (512) that, if ever used by mistake,
+    indexes out of the doubled exp table and raises loudly rather than
+    silently producing a wrong product.
+    """
+    exp = np.zeros(2 * GROUP_ORDER + 2, dtype=np.int32)
+    log = np.zeros(FIELD_SIZE, dtype=np.int32)
+    value = 1
+    for power in range(GROUP_ORDER):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= prim_poly
+    # Duplicate the cycle so exp[i] is valid for i in [0, 2*255).
+    for power in range(GROUP_ORDER, 2 * GROUP_ORDER + 2):
+        exp[power] = exp[power - GROUP_ORDER]
+    log[0] = 2 * GROUP_ORDER + 2  # poison value; never valid to use
+    return exp, log
+
+
+EXP_TABLE, LOG_TABLE = _build_tables(PRIMITIVE_POLY)
+
+#: Full 256x256 multiplication table, used by the vectorized kernels:
+#: MUL_TABLE[a, b] == a*b in GF(2^8).  64KiB of memory buys us
+#: branch-free numpy block multiplication.
+MUL_TABLE = np.zeros((FIELD_SIZE, FIELD_SIZE), dtype=np.uint8)
+_nz = np.arange(1, FIELD_SIZE)
+_log_a = LOG_TABLE[_nz][:, None]
+_log_b = LOG_TABLE[_nz][None, :]
+MUL_TABLE[1:, 1:] = EXP_TABLE[(_log_a + _log_b) % GROUP_ORDER].astype(np.uint8)
+
+#: Multiplicative inverse table; INV_TABLE[0] is 0 and must never be
+#: relied upon (inverting zero is a caller bug, checked in field.py).
+INV_TABLE = np.zeros(FIELD_SIZE, dtype=np.uint8)
+INV_TABLE[1:] = EXP_TABLE[GROUP_ORDER - LOG_TABLE[1:]].astype(np.uint8)

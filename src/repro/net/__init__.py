@@ -1,0 +1,23 @@
+"""Networking substrate: RPC transport, fault injection, traffic stats."""
+
+from repro.net.failure import FailureDetector, LeaseClock
+from repro.net.local import DelayModel, LocalTransport
+from repro.net.message import TrafficStats, diff_snapshots, estimate_size
+from repro.net.rpc import NodeProxy, pfor
+from repro.net.tcp import TcpTransport
+from repro.net.transport import RpcHandler, Transport
+
+__all__ = [
+    "DelayModel",
+    "FailureDetector",
+    "LeaseClock",
+    "LocalTransport",
+    "NodeProxy",
+    "RpcHandler",
+    "TcpTransport",
+    "TrafficStats",
+    "Transport",
+    "diff_snapshots",
+    "estimate_size",
+    "pfor",
+]

@@ -1,0 +1,58 @@
+"""Failure detection under the fail-stop model (Section 2, [10]).
+
+The paper assumes fail-stop nodes whose halted state *can be detected*.
+Concretely, detection happens two ways:
+
+* **on access** — an RPC to a crashed node raises
+  :class:`NodeUnavailableError`; the caller treats that as detection
+  (Section 3.5: "the failure of a storage node is detected when a
+  client tries to access the node");
+* **by notification** — storage nodes subscribe to crash events so the
+  "upon failure of lid" lock-expiry rule of Fig. 6 fires without the
+  node polling.
+
+:class:`FailureDetector` wraps both, and additionally supports *lease
+expiry* as a belt-and-braces mechanism for lock liveness when perfect
+notifications are disabled (used by the fault-injection tests).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro.net.transport import Transport
+
+
+class FailureDetector:
+    """Perfect failure detector over a transport's crash state."""
+
+    def __init__(self, transport: Transport):
+        self._transport = transport
+
+    def is_failed(self, node_id: str) -> bool:
+        return self._transport.is_crashed(node_id)
+
+    def on_failure(self, callback: Callable[[str], None]) -> None:
+        """Invoke ``callback(node_id)`` whenever a node crashes."""
+        self._transport.add_failure_listener(callback)
+
+
+class LeaseClock:
+    """Monotonic clock with an adjustable scale, for lock leases.
+
+    Storage nodes can expire locks whose holder has been silent longer
+    than a lease.  Tests shrink the scale to exercise expiry quickly.
+    """
+
+    def __init__(self, scale: float = 1.0):
+        self.scale = scale
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        return time.monotonic() * self.scale
+
+    def elapsed_since(self, then: float) -> float:
+        with self._lock:
+            return self.now() - then

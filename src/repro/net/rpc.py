@@ -1,0 +1,93 @@
+"""Client-side RPC conveniences: node proxies and parallel calls (pfor).
+
+The paper's pseudocode uses ``pfor`` — a parallel-for over storage
+nodes.  :func:`pfor` reproduces it with a shared thread pool: results
+come back as a dict, and per-target failures are captured as exception
+objects so one crashed node does not abort the batch (the protocol
+decides what a failure means).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Iterable
+from concurrent.futures import ThreadPoolExecutor
+from typing import TypeVar
+
+from repro.net.transport import Transport
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+# A process-wide pool is enough: protocol fan-out is small (n <= 32) and
+# pfor bodies are short RPCs.  Sized generously so nested pfors from
+# several concurrent clients do not starve each other.
+_POOL_SIZE = 64
+_pool: ThreadPoolExecutor | None = None
+_pool_lock = threading.Lock()
+
+
+def _pool_instance() -> ThreadPoolExecutor:
+    global _pool
+    with _pool_lock:
+        if _pool is None:
+            _pool = ThreadPoolExecutor(
+                max_workers=_POOL_SIZE, thread_name_prefix="repro-pfor"
+            )
+        return _pool
+
+
+def pfor(items: Iterable[T], body: Callable[[T], R]) -> dict[T, R | Exception]:
+    """Run ``body`` over ``items`` in parallel; gather results by item.
+
+    Exceptions raised by a body are returned in place of results, never
+    raised: the caller inspects them (matching how the protocol treats
+    per-node RPC failures as data).
+    """
+    items = list(items)
+    if not items:
+        return {}
+    if len(items) == 1:
+        item = items[0]
+        try:
+            return {item: body(item)}
+        except Exception as exc:
+            return {item: exc}
+    pool = _pool_instance()
+    futures = {item: pool.submit(body, item) for item in items}
+    results: dict[T, R | Exception] = {}
+    for item, future in futures.items():
+        try:
+            results[item] = future.result()
+        except Exception as exc:
+            results[item] = exc
+    return results
+
+
+class NodeProxy:
+    """Convenience wrapper: ``proxy.swap(...)`` -> ``transport.call(...)``.
+
+    Binds a (caller id, target id) pair so protocol code reads like the
+    paper's ``S_j.add(...)`` notation.
+    """
+
+    def __init__(self, transport: Transport, src: str, dst: str):
+        self._transport = transport
+        self.src = src
+        self.dst = dst
+
+    def call(self, op: str, *args: object, **kwargs: object) -> object:
+        return self._transport.call(self.src, self.dst, op, *args, **kwargs)
+
+    def __getattr__(self, op: str) -> Callable[..., object]:
+        if op.startswith("_"):
+            raise AttributeError(op)
+
+        def invoke(*args: object, **kwargs: object) -> object:
+            return self.call(op, *args, **kwargs)
+
+        invoke.__name__ = op
+        return invoke
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NodeProxy({self.src} -> {self.dst})"

@@ -1,0 +1,142 @@
+"""Transport abstraction: RPC, fail-stop crashes, partitions, listeners.
+
+The protocol code (clients and storage nodes) is written against this
+interface only, so it does not care whether messages travel over an
+in-process call graph (:mod:`repro.net.local`), a socket, or a
+simulator.  The interface encodes the paper's failure model:
+
+* **fail-stop** (Schneider): a crashed node halts and its halted state
+  is detectable — calls to it raise :class:`NodeUnavailableError`
+  rather than hanging, and registered listeners are notified so storage
+  nodes can expire locks held by a crashed client (Fig. 6, the
+  "upon failure of *lid*" handler).
+* **partitions**: pairs of nodes can be disconnected to reproduce the
+  switch-failure scenario of the paper's limitations discussion.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterable
+
+from repro.errors import NodeUnavailableError, PartitionedError, UnknownNodeError
+from repro.net.message import TrafficStats
+
+#: Callback invoked with the id of a node that just crashed.
+FailureListener = Callable[[str], None]
+
+
+class RpcHandler(ABC):
+    """Something that serves RPCs (a storage-node server)."""
+
+    @abstractmethod
+    def handle(self, op: str, *args: object, **kwargs: object) -> object:
+        """Execute operation ``op`` and return its result."""
+
+
+class Transport(ABC):
+    """Message fabric connecting client and storage nodes."""
+
+    def __init__(self) -> None:
+        self.stats = TrafficStats()
+        self._lock = threading.RLock()
+        self._handlers: dict[str, RpcHandler] = {}
+        self._members: set[str] = set()
+        self._crashed: set[str] = set()
+        self._blocked_pairs: set[frozenset[str]] = set()
+        self._listeners: list[FailureListener] = []
+
+    # -- membership ---------------------------------------------------------
+
+    def register(self, node_id: str, handler: RpcHandler | None = None) -> None:
+        """Add a node.  Clients register with no handler (they only call)."""
+        with self._lock:
+            self._members.add(node_id)
+            self._crashed.discard(node_id)
+            if handler is not None:
+                self._handlers[node_id] = handler
+
+    def members(self) -> set[str]:
+        with self._lock:
+            return set(self._members)
+
+    # -- failure injection ----------------------------------------------------
+
+    def crash(self, node_id: str) -> None:
+        """Fail-stop ``node_id`` and notify failure listeners."""
+        with self._lock:
+            if node_id not in self._members:
+                raise UnknownNodeError(node_id)
+            if node_id in self._crashed:
+                return
+            self._crashed.add(node_id)
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(node_id)
+
+    def is_crashed(self, node_id: str) -> bool:
+        with self._lock:
+            return node_id in self._crashed
+
+    def add_failure_listener(self, listener: FailureListener) -> None:
+        """Subscribe to crash notifications (perfect failure detector)."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def partition(self, side_a: Iterable[str], side_b: Iterable[str]) -> None:
+        """Disconnect every pair across the two sides (both directions)."""
+        with self._lock:
+            for a in side_a:
+                for b in side_b:
+                    if a != b:
+                        self._blocked_pairs.add(frozenset((a, b)))
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        with self._lock:
+            self._blocked_pairs.clear()
+
+    def _check_reachable(self, src: str, dst: str) -> None:
+        with self._lock:
+            if src in self._crashed:
+                # A crashed node cannot act; treating its own calls as
+                # failures keeps crash injection race-free in tests.
+                raise NodeUnavailableError(src, "caller crashed")
+            if dst in self._crashed:
+                raise NodeUnavailableError(dst)
+            if frozenset((src, dst)) in self._blocked_pairs:
+                raise PartitionedError(src, dst)
+
+    def _handler_for(self, dst: str) -> RpcHandler:
+        with self._lock:
+            handler = self._handlers.get(dst)
+        if handler is None:
+            raise UnknownNodeError(dst)
+        return handler
+
+    # -- messaging ------------------------------------------------------------
+
+    @abstractmethod
+    def call(self, src: str, dst: str, op: str, *args: object, **kwargs: object) -> object:
+        """Synchronous RPC from ``src`` to ``dst``."""
+
+    def broadcast(
+        self, src: str, dsts: list[str], op: str, *args: object, **kwargs: object
+    ) -> dict[str, object]:
+        """One logical send delivered to many nodes (Section 3.11).
+
+        The default implementation loops over :meth:`call`; transports
+        with true broadcast support override it so the payload leaves
+        the client once (this is what makes AJX-bcast's write bandwidth
+        3B instead of (p+2)B).  Per-destination failures are returned
+        as exception objects, not raised, so a broadcast to a partly
+        crashed stripe still updates the live nodes.
+        """
+        results: dict[str, object] = {}
+        for dst in dsts:
+            try:
+                results[dst] = self.call(src, dst, op, *args, **kwargs)
+            except NodeUnavailableError as exc:
+                results[dst] = exc
+        return results

@@ -1,0 +1,28 @@
+"""Discrete-event performance simulator (the paper's §5.2 methodology)."""
+
+from repro.sim.calibration import CostModel, measure_costs, paper_costs
+from repro.sim.engine import All, Resource, Simulator, Spawn, Timeout, Use
+from repro.sim.experiments import ThroughputResult, run_throughput, sweep
+from repro.sim.metrics import Metrics
+from repro.sim.system import SimNode, SimSystem
+from repro.sim.workload import WorkloadSpec, launch
+
+__all__ = [
+    "All",
+    "CostModel",
+    "Metrics",
+    "Resource",
+    "SimNode",
+    "SimSystem",
+    "Simulator",
+    "Spawn",
+    "ThroughputResult",
+    "Timeout",
+    "Use",
+    "WorkloadSpec",
+    "launch",
+    "measure_costs",
+    "paper_costs",
+    "run_throughput",
+    "sweep",
+]

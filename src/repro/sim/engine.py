@@ -1,0 +1,178 @@
+"""Discrete-event simulation kernel.
+
+A tiny, dependency-free engine in the style the paper's Section 5.2
+implies: *processes* are Python generators that yield commands —
+
+* ``Timeout(dt)``            — pure delay (network propagation);
+* ``Use(resource, service)`` — queue at a FIFO resource for ``service``
+  seconds of its time (a NIC transmitting bytes, a CPU running a
+  phase);
+* ``All(generators)``        — fork child processes and resume when
+  every one of them has finished (the pfor of parallel adds);
+* ``Spawn(generator)``       — fire-and-forget child process.
+
+Resources are conservative FIFO servers: a request arriving at time t
+starts at ``max(t, server_free)`` — this models serialization at NICs
+and CPUs without token-level simulation, which is exactly what the
+paper's simulator did ("each phase ... allocates the processor and the
+node's network adapter for some time").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+#: A process is a generator yielding commands and receiving None back.
+Process = Generator["Command", object, object]
+
+
+class Command:
+    """Base class for things a process may yield."""
+
+
+@dataclass(frozen=True)
+class Timeout(Command):
+    delay: float
+
+
+@dataclass(frozen=True)
+class Use(Command):
+    resource: "Resource"
+    service: float
+
+
+@dataclass(frozen=True)
+class All(Command):
+    children: tuple
+
+
+@dataclass(frozen=True)
+class Spawn(Command):
+    child: object  # a generator
+
+
+class Resource:
+    """A FIFO server pool with utilization accounting.
+
+    ``capacity`` parallel servers; each ``Use`` occupies the earliest
+    available server for its service time.  ``busy_time`` integrates
+    occupied server-seconds for utilization reports.
+    """
+
+    def __init__(self, name: str, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._free_at = [0.0] * capacity
+        self.busy_time = 0.0
+        self.requests = 0
+
+    def reserve(self, now: float, service: float) -> float:
+        """Claim a server slot; returns the completion time."""
+        if service < 0:
+            raise ValueError(f"negative service time {service}")
+        self.requests += 1
+        idx = min(range(self.capacity), key=lambda i: self._free_at[i])
+        start = max(now, self._free_at[idx])
+        end = start + service
+        self._free_at[idx] = end
+        self.busy_time += service
+        return end
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Resource({self.name!r}, capacity={self.capacity})"
+
+
+@dataclass
+class _Task:
+    """Bookkeeping for one live process."""
+
+    gen: object
+    parent: "_Task | None" = None
+    pending_children: int = 0
+    waiting_join: bool = False
+    done: bool = False
+    result: object = None
+
+
+class Simulator:
+    """Event loop driving processes over simulated time."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, _Task, object]] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def spawn(self, gen: Process, delay: float = 0.0) -> _Task:
+        """Register a new top-level process."""
+        task = _Task(gen=gen)
+        self._schedule(task, delay, None)
+        return task
+
+    def _schedule(self, task: _Task, delay: float, value: object) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), task, value))
+
+    def run(self, until: float | None = None) -> float:
+        """Run events until the horizon (or exhaustion); returns now."""
+        while self._heap:
+            when, _, task, value = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = when
+            self.events_processed += 1
+            self._step(task, value)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def _step(self, task: _Task, value: object) -> None:
+        try:
+            command = task.gen.send(value)
+        except StopIteration as stop:
+            self._finish(task, stop.value)
+            return
+        self._dispatch(task, command)
+
+    def _dispatch(self, task: _Task, command: object) -> None:
+        if isinstance(command, Timeout):
+            self._schedule(task, command.delay, None)
+        elif isinstance(command, Use):
+            end = command.resource.reserve(self.now, command.service)
+            self._schedule(task, end - self.now, None)
+        elif isinstance(command, All):
+            children = list(command.children)
+            if not children:
+                self._schedule(task, 0.0, None)
+                return
+            task.pending_children = len(children)
+            task.waiting_join = True
+            for child_gen in children:
+                child = _Task(gen=child_gen, parent=task)
+                self._schedule(child, 0.0, None)
+        elif isinstance(command, Spawn):
+            self._schedule(_Task(gen=command.child), 0.0, None)
+            self._schedule(task, 0.0, None)
+        else:
+            raise TypeError(f"process yielded unknown command {command!r}")
+
+    def _finish(self, task: _Task, result: object) -> None:
+        task.done = True
+        task.result = result
+        parent = task.parent
+        if parent is not None and parent.waiting_join:
+            parent.pending_children -= 1
+            if parent.pending_children == 0:
+                parent.waiting_join = False
+                self._schedule(parent, 0.0, None)

@@ -1,0 +1,67 @@
+"""Export simulation results for external plotting.
+
+Benches print human tables; for gnuplot/pandas post-processing this
+module flattens :class:`~repro.sim.experiments.ThroughputResult` lists
+to dict rows and CSV files.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.sim.experiments import ThroughputResult
+
+#: Column order of the CSV schema (stable for downstream scripts).
+COLUMNS = [
+    "protocol",
+    "strategy",
+    "k",
+    "n",
+    "num_clients",
+    "outstanding",
+    "read_fraction",
+    "write_mbps",
+    "read_mbps",
+    "write_ops",
+    "read_ops",
+    "mean_write_latency_s",
+    "mean_read_latency_s",
+    "max_client_nic_utilization",
+    "max_storage_nic_utilization",
+]
+
+
+def result_to_row(result: ThroughputResult) -> dict[str, object]:
+    """Flatten one result into a CSV-ready dict."""
+    spec = result.spec
+    return {
+        "protocol": spec.protocol,
+        "strategy": spec.strategy.value,
+        "k": result.k,
+        "n": result.n,
+        "num_clients": result.num_clients,
+        "outstanding": spec.outstanding,
+        "read_fraction": spec.read_fraction,
+        "write_mbps": result.write_mbps,
+        "read_mbps": result.read_mbps,
+        "write_ops": result.write_ops,
+        "read_ops": result.read_ops,
+        "mean_write_latency_s": result.mean_write_latency,
+        "mean_read_latency_s": result.mean_read_latency,
+        "max_client_nic_utilization": result.max_client_nic_utilization,
+        "max_storage_nic_utilization": result.max_storage_nic_utilization,
+    }
+
+
+def write_csv(results: Iterable[ThroughputResult], path: str | Path) -> int:
+    """Write results to ``path``; returns the number of rows written."""
+    rows = [result_to_row(r) for r in results]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=COLUMNS)
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)

@@ -1,0 +1,230 @@
+"""Phase models of each protocol for the simulator.
+
+Each function returns a generator (a simulator process) performing one
+logical operation: it occupies client CPU, client NIC, network latency,
+storage NIC and storage CPU exactly as the paper describes its
+failure-free message flow.  The models intentionally cover only common
+cases — the paper's simulator did the same; failure behaviour is
+studied on the functional cluster instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.client.config import WriteStrategy
+from repro.sim.engine import All, Timeout, Use
+from repro.sim.system import SimNode, SimSystem
+
+SMALL = 0  # payload of control messages (headers added by CostModel)
+
+
+def rpc(
+    system: SimSystem,
+    client: SimNode,
+    server: SimNode,
+    request_payload: int,
+    response_payload: int,
+    server_cpu: float,
+) -> Generator:
+    """One synchronous RPC: the five-resource pipeline of §5.2."""
+    costs = system.costs
+    request = costs.request_bytes(request_payload)
+    response = costs.request_bytes(response_payload)
+    yield Use(client.cpu, costs.rpc_client_cpu)
+    yield Use(client.nic, client.tx_time(request))
+    yield Timeout(costs.net_latency)
+    yield Use(server.nic, server.tx_time(request))
+    yield Use(server.cpu, costs.rpc_server_cpu + server_cpu)
+    yield Use(server.nic, server.tx_time(response))
+    yield Timeout(costs.net_latency)
+    yield Use(client.nic, client.tx_time(response))
+
+
+# ---------------------------------------------------------------------------
+# AJX (this paper)
+# ---------------------------------------------------------------------------
+
+
+def ajx_read(system: SimSystem, client: SimNode, stripe: int, index: int) -> Generator:
+    """READ: one round trip to the data storage node (Fig. 4)."""
+    server = system.data_node(stripe, index)
+    yield from rpc(system, client, server, SMALL, system.costs.block_size, system.costs.read_cpu)
+
+
+def _ajx_add(system: SimSystem, client: SimNode, server: SimNode) -> Generator:
+    """One unicast add: client computes the delta, ships it, node adds."""
+    costs = system.costs
+    yield Use(client.cpu, costs.delta_cpu)
+    yield from rpc(system, client, server, costs.block_size, SMALL, costs.add_cpu)
+
+
+def _bcast_deliver(system: SimSystem, client: SimNode, server: SimNode) -> Generator:
+    """Per-destination tail of a broadcast add: propagation, receive,
+    node-side multiply+add, and the unicast ack."""
+    costs = system.costs
+    payload = costs.request_bytes(costs.block_size)
+    ack = costs.request_bytes(SMALL)
+    yield Timeout(costs.net_latency)
+    yield Use(server.nic, server.tx_time(payload))
+    # Node does the alpha multiplication itself (§3.11): delta + add.
+    yield Use(server.cpu, costs.add_cpu + costs.delta_cpu)
+    yield Use(server.nic, server.tx_time(ack))
+    yield Timeout(costs.net_latency)
+    yield Use(client.nic, client.tx_time(ack))
+
+
+def ajx_write(
+    system: SimSystem,
+    client: SimNode,
+    stripe: int,
+    index: int,
+    strategy: WriteStrategy = WriteStrategy.PARALLEL,
+    hybrid_group_size: int = 2,
+) -> Generator:
+    """WRITE: swap at the data node, then adds per strategy (Fig. 5)."""
+    costs = system.costs
+    data_node = system.data_node(stripe, index)
+    redundant = system.redundant_nodes(stripe)
+    # swap carries the new block out and the old block back.
+    yield from rpc(
+        system, client, data_node, costs.block_size, costs.block_size, costs.swap_cpu
+    )
+    if not redundant:
+        return
+    if strategy is WriteStrategy.SERIAL:
+        for node in redundant:
+            yield from _ajx_add(system, client, node)
+    elif strategy is WriteStrategy.PARALLEL:
+        yield All(tuple(_ajx_add(system, client, node) for node in redundant))
+    elif strategy is WriteStrategy.HYBRID:
+        size = max(1, hybrid_group_size)
+        for start in range(0, len(redundant), size):
+            group = redundant[start : start + size]
+            yield All(tuple(_ajx_add(system, client, node) for node in group))
+    elif strategy is WriteStrategy.BROADCAST:
+        # One subtraction at the client, one payload on its NIC.
+        yield Use(client.cpu, costs.rpc_client_cpu)
+        yield Use(client.nic, client.tx_time(costs.request_bytes(costs.block_size)))
+        yield All(tuple(_bcast_deliver(system, client, node) for node in redundant))
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def ajx_recovery(system: SimSystem, client: SimNode, stripe: int) -> Generator:
+    """One stripe recovery (Fig. 6), modeled phase by phase:
+
+    phase 1 — serial trylock round trips to all n nodes (in order, so
+    they cannot overlap); phase 2 — parallel get_state fetches, each
+    returning a block-sized payload; decode on the client CPU; phase 3 —
+    parallel reconstruct writes (block out) and a parallel finalize
+    round.  Used to predict bulk-rebuild throughput for systems larger
+    than the functional cluster (§6.2 extended)."""
+    costs = system.costs
+    nodes = [system.data_node(stripe, i) for i in range(system.k)] + list(
+        system.redundant_nodes(stripe)
+    )
+    # Phase 1: locks, serial in index order (deadlock avoidance).
+    for node in nodes:
+        yield from rpc(system, client, node, SMALL, SMALL, costs.small_op_cpu)
+    # Phase 2: read everyone's state (block-sized responses), decode.
+    yield All(
+        tuple(
+            rpc(system, client, node, SMALL, costs.block_size, costs.read_cpu)
+            for node in nodes
+        )
+    )
+    yield Use(client.cpu, costs.decode_cpu_per_block * system.k)
+    yield Use(client.cpu, costs.encode_cpu_per_block * (system.n - system.k))
+    # Phase 3: write every block back, then finalize.
+    yield All(
+        tuple(
+            rpc(system, client, node, costs.block_size, SMALL, costs.swap_cpu)
+            for node in nodes
+        )
+    )
+    yield All(
+        tuple(
+            rpc(system, client, node, SMALL, SMALL, costs.small_op_cpu)
+            for node in nodes
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# FAB baseline
+# ---------------------------------------------------------------------------
+
+
+def fab_write(system: SimSystem, client: SimNode, stripe: int, index: int) -> Generator:
+    """FAB-style write: two rounds against all n nodes, block-bearing
+    payloads (matching Fig. 1's 4n messages / ~(2n+1)B bandwidth)."""
+    costs = system.costs
+    nodes = [system.data_node(stripe, i) for i in range(system.k)] + list(
+        system.redundant_nodes(stripe)
+    )
+    yield Use(client.cpu, costs.encode_cpu_per_block * (system.n - system.k))
+    yield All(
+        tuple(
+            rpc(system, client, node, costs.block_size, SMALL, costs.small_op_cpu)
+            for node in nodes
+        )
+    )
+    yield All(
+        tuple(
+            rpc(system, client, node, costs.block_size, SMALL, costs.swap_cpu)
+            for node in nodes
+        )
+    )
+
+
+def fab_read(system: SimSystem, client: SimNode, stripe: int, index: int) -> Generator:
+    """FAB-style read: query k nodes for timestamps, one returns data."""
+    costs = system.costs
+    nodes = [system.data_node(stripe, i) for i in range(system.k)]
+    children = []
+    for i, node in enumerate(nodes):
+        payload = costs.block_size if i == index % system.k else SMALL
+        children.append(rpc(system, client, node, SMALL, payload, costs.read_cpu))
+    yield All(tuple(children))
+
+
+# ---------------------------------------------------------------------------
+# GWGR baseline
+# ---------------------------------------------------------------------------
+
+
+def gwgr_write(system: SimSystem, client: SimNode, stripe: int, index: int) -> Generator:
+    """GWGR-style write: timestamp round + full-stripe store round."""
+    costs = system.costs
+    nodes = [system.data_node(stripe, i) for i in range(system.k)] + list(
+        system.redundant_nodes(stripe)
+    )
+    yield All(
+        tuple(
+            rpc(system, client, node, SMALL, SMALL, costs.small_op_cpu)
+            for node in nodes
+        )
+    )
+    yield Use(client.cpu, costs.encode_cpu_per_block * (system.n - system.k))
+    yield All(
+        tuple(
+            rpc(system, client, node, costs.block_size, SMALL, costs.swap_cpu)
+            for node in nodes
+        )
+    )
+
+
+def gwgr_read(system: SimSystem, client: SimNode, stripe: int, index: int) -> Generator:
+    """GWGR-style read: fetch versions from all n nodes, decode locally."""
+    costs = system.costs
+    nodes = [system.data_node(stripe, i) for i in range(system.k)] + list(
+        system.redundant_nodes(stripe)
+    )
+    yield All(
+        tuple(
+            rpc(system, client, node, SMALL, costs.block_size, costs.read_cpu)
+            for node in nodes
+        )
+    )
+    yield Use(client.cpu, costs.decode_cpu_per_block * system.k)

@@ -1,0 +1,100 @@
+"""Simulated system topology: client/storage nodes and their resources.
+
+Each node has a processor and a network adapter, both FIFO resources
+(§5.2: "there is a processor to serve all threads ... allocates the
+processor and the node's network adapter for some time").  The network
+itself contributes propagation latency; switch backplanes on a LAN are
+assumed non-blocking (consistent with the paper's saturation analysis,
+which attributes all bottlenecks to node NICs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.erasure.striping import StripeLayout
+from repro.sim.calibration import CostModel
+from repro.sim.engine import Resource, Simulator
+
+
+@dataclass
+class SimNode:
+    """One simulated host: a processor and a NIC."""
+
+    name: str
+    cpu: Resource
+    nic: Resource
+    bandwidth: float  # bytes/s through the NIC
+
+    def tx_time(self, size: int) -> float:
+        """NIC occupancy to move ``size`` bytes on or off the wire."""
+        return size / self.bandwidth
+
+
+@dataclass
+class SimSystem:
+    """A simulated deployment: clients, storage nodes, code, layout."""
+
+    sim: Simulator
+    costs: CostModel
+    k: int
+    n: int
+    clients: list[SimNode] = field(default_factory=list)
+    storage: list[SimNode] = field(default_factory=list)
+    rotate: bool = True
+
+    def __post_init__(self) -> None:
+        self.layout = StripeLayout(self.k, self.n, rotate=self.rotate)
+
+    @classmethod
+    def build(
+        cls,
+        num_clients: int,
+        k: int,
+        n: int,
+        costs: CostModel | None = None,
+        rotate: bool = True,
+    ) -> "SimSystem":
+        costs = costs or CostModel()
+        sim = Simulator()
+        system = cls(sim=sim, costs=costs, k=k, n=n, rotate=rotate)
+        for c in range(num_clients):
+            system.clients.append(
+                SimNode(
+                    name=f"client-{c}",
+                    cpu=Resource(f"client-{c}.cpu"),
+                    nic=Resource(f"client-{c}.nic"),
+                    bandwidth=costs.client_bandwidth,
+                )
+            )
+        for s in range(n):
+            system.storage.append(
+                SimNode(
+                    name=f"storage-{s}",
+                    cpu=Resource(f"storage-{s}.cpu"),
+                    nic=Resource(f"storage-{s}.nic"),
+                    bandwidth=costs.storage_bandwidth,
+                )
+            )
+        return system
+
+    # -- placement ---------------------------------------------------------
+
+    def data_node(self, stripe: int, index: int) -> SimNode:
+        return self.storage[self.layout.node_of_stripe_index(stripe, index)]
+
+    def redundant_nodes(self, stripe: int) -> list[SimNode]:
+        return [
+            self.storage[self.layout.node_of_stripe_index(stripe, j)]
+            for j in range(self.k, self.n)
+        ]
+
+    # -- reporting -----------------------------------------------------------
+
+    def utilization_report(self) -> dict[str, float]:
+        elapsed = self.sim.now
+        report: dict[str, float] = {}
+        for node in self.clients + self.storage:
+            report[node.cpu.name] = node.cpu.utilization(elapsed)
+            report[node.nic.name] = node.nic.utilization(elapsed)
+        return report

@@ -1,0 +1,155 @@
+"""Workload generators: closed-loop client threads over random blocks.
+
+The paper's experiments run clients with a configurable number of
+outstanding requests ("we vary the number of outstanding requests of
+size 1KB each") against uniformly random blocks — almost always
+touching different stripes, the common case the protocol optimizes.
+Each outstanding request is one simulated thread in a closed loop:
+finish an operation, immediately start the next.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Generator
+from dataclasses import dataclass
+
+from repro.client.config import WriteStrategy
+from repro.sim import protocol_model
+from repro.sim.metrics import Metrics
+from repro.sim.system import SimNode, SimSystem
+
+#: op(system, client_node, stripe, index) -> simulator process
+OpModel = Callable[[SimSystem, SimNode, int, int], Generator]
+
+PROTOCOLS: dict[str, dict[str, OpModel]] = {
+    "ajx": {"read": protocol_model.ajx_read, "write": protocol_model.ajx_write},
+    "fab": {"read": protocol_model.fab_read, "write": protocol_model.fab_write},
+    "gwgr": {"read": protocol_model.gwgr_read, "write": protocol_model.gwgr_write},
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One experiment's workload knobs."""
+
+    protocol: str = "ajx"
+    read_fraction: float = 0.0  # 0.0 = pure writes (the paper's default)
+    outstanding: int = 8  # threads per client
+    stripes: int = 512  # uniform random stripe pool
+    duration: float = 1.0  # simulated seconds
+    warmup: float = 0.1
+    strategy: WriteStrategy = WriteStrategy.PARALLEL
+    hybrid_group_size: int = 2
+    sequential: bool = False
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.outstanding < 1:
+            raise ValueError("outstanding must be >= 1")
+        if self.warmup >= self.duration:
+            raise ValueError("warmup must be shorter than duration")
+
+
+def client_thread(
+    system: SimSystem,
+    client: SimNode,
+    spec: WorkloadSpec,
+    metrics: Metrics,
+    rng: random.Random,
+    stop_time: float,
+) -> Generator:
+    """One closed-loop thread issuing operations until the horizon."""
+    ops = PROTOCOLS[spec.protocol]
+    sequential_cursor = rng.randrange(spec.stripes * system.k)
+    while system.sim.now < stop_time:
+        if spec.sequential:
+            logical = sequential_cursor
+            sequential_cursor += 1
+        else:
+            logical = rng.randrange(spec.stripes * system.k)
+        stripe, index = divmod(logical, system.k)
+        is_read = rng.random() < spec.read_fraction
+        started = system.sim.now
+        if is_read:
+            yield from ops["read"](system, client, stripe, index)
+            metrics.record("read", system.sim.now, system.sim.now - started)
+        else:
+            if spec.protocol == "ajx":
+                yield from protocol_model.ajx_write(
+                    system,
+                    client,
+                    stripe,
+                    index,
+                    strategy=spec.strategy,
+                    hybrid_group_size=spec.hybrid_group_size,
+                )
+            else:
+                yield from ops["write"](system, client, stripe, index)
+            metrics.record("write", system.sim.now, system.sim.now - started)
+
+
+def launch(system: SimSystem, spec: WorkloadSpec) -> Metrics:
+    """Spawn ``outstanding`` threads on every client; returns metrics
+    (populated once the caller runs the simulator)."""
+    metrics = Metrics()
+    for c, client in enumerate(system.clients):
+        for t in range(spec.outstanding):
+            rng = random.Random(f"{spec.seed}/{c}/{t}")
+            system.sim.spawn(
+                client_thread(system, client, spec, metrics, rng, spec.duration)
+            )
+    return metrics
+
+
+def open_loop_arrivals(
+    system: SimSystem,
+    client: SimNode,
+    spec: WorkloadSpec,
+    metrics: Metrics,
+    rate: float,
+    rng: random.Random,
+    stop_time: float,
+) -> Generator:
+    """Poisson arrival process: operations arrive at ``rate`` per second
+    regardless of completions (open loop), each handled by a spawned
+    child process.  Open-loop load is what exposes the latency knee as
+    utilization approaches 1 — closed loops self-throttle and hide it."""
+    from repro.sim.engine import Spawn, Timeout
+
+    ops = PROTOCOLS[spec.protocol]
+
+    def one_op(logical: int, is_read: bool) -> Generator:
+        stripe, index = divmod(logical, system.k)
+        started = system.sim.now
+        if is_read:
+            yield from ops["read"](system, client, stripe, index)
+            metrics.record("read", system.sim.now, system.sim.now - started)
+        else:
+            yield from ops["write"](system, client, stripe, index)
+            metrics.record("write", system.sim.now, system.sim.now - started)
+
+    while system.sim.now < stop_time:
+        yield Timeout(rng.expovariate(rate))
+        logical = rng.randrange(spec.stripes * system.k)
+        is_read = rng.random() < spec.read_fraction
+        yield Spawn(one_op(logical, is_read))
+
+
+def launch_open_loop(
+    system: SimSystem, spec: WorkloadSpec, rate_per_client: float
+) -> Metrics:
+    """Open-loop variant of :func:`launch`."""
+    if rate_per_client <= 0:
+        raise ValueError("rate_per_client must be positive")
+    metrics = Metrics()
+    for c, client in enumerate(system.clients):
+        rng = random.Random(f"open/{spec.seed}/{c}")
+        system.sim.spawn(
+            open_loop_arrivals(
+                system, client, spec, metrics, rate_per_client, rng, spec.duration
+            )
+        )
+    return metrics

@@ -1,0 +1,42 @@
+"""Storage-node substrate: per-block state machines served over RPC."""
+
+from repro.storage.node import BROADCAST_INDEX, StorageNode, VolumeMeta
+from repro.storage.server import InstrumentedServer, ServiceTimes
+from repro.storage.store import BlockStore, MemoryStore, SimulatedDiskStore
+from repro.storage.state import (
+    AddResult,
+    AddStatus,
+    BlockState,
+    CheckTidStatus,
+    LockMode,
+    OpMode,
+    ReadResult,
+    StateSnapshot,
+    SwapResult,
+    TidEntry,
+    TryLockResult,
+    tids,
+)
+
+__all__ = [
+    "AddResult",
+    "AddStatus",
+    "BROADCAST_INDEX",
+    "BlockState",
+    "BlockStore",
+    "MemoryStore",
+    "SimulatedDiskStore",
+    "CheckTidStatus",
+    "InstrumentedServer",
+    "LockMode",
+    "OpMode",
+    "ReadResult",
+    "ServiceTimes",
+    "StateSnapshot",
+    "StorageNode",
+    "SwapResult",
+    "TidEntry",
+    "TryLockResult",
+    "VolumeMeta",
+    "tids",
+]

@@ -1,0 +1,404 @@
+"""The storage node: a thin, passive server of simple block operations.
+
+Implements, verbatim where possible, the storage-node side of the
+paper's Figs. 4 (read), 5 (swap/add/checktid), 6 (recovery ops) and 7
+(garbage collection), generalized from "one node = one block" to one
+:class:`~repro.storage.state.BlockState` per block slot served.
+
+Design notes
+------------
+* All operations execute under one node-wide lock: the node behaves as
+  a single-threaded thin device serving one short request at a time
+  ("thin servers" principle, Section 3).
+* A node created with ``fresh=True`` models a *remapped replacement*
+  (Section 3.5): block slots materialize with ``opmode = INIT`` and
+  random garbage content ("after fail-remap random"), epoch 0, empty
+  tid lists.
+* For the broadcast optimization (Section 3.11) the node itself
+  multiplies incoming deltas by its erasure-code coefficient, so it
+  must know the volume's code and layout; ``VolumeMeta`` carries them.
+  Clients address broadcast adds with ``index = BROADCAST_INDEX`` and
+  the node resolves its own stripe position from its slot number.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.erasure.rs import ReedSolomonCode
+from repro.erasure.striping import StripeLayout
+from repro.gf import field
+from repro.ids import BlockAddr, Tid
+from repro.net.transport import RpcHandler
+from repro.errors import UnknownOperationError
+from repro.storage.store import BlockStore
+from repro.storage.state import (
+    AddResult,
+    AddStatus,
+    BlockState,
+    CheckTidStatus,
+    LockMode,
+    OpMode,
+    ReadResult,
+    StateSnapshot,
+    SwapResult,
+    TidEntry,
+    TryLockResult,
+    tids,
+)
+
+#: Sentinel stripe index used by broadcast adds: "you know your own
+#: position, work it out from your slot".
+BROADCAST_INDEX = -1
+
+
+@dataclass(frozen=True)
+class VolumeMeta:
+    """Per-volume configuration a storage node needs."""
+
+    code: ReedSolomonCode
+    layout: StripeLayout
+    block_size: int = 1024
+
+
+class StorageNode(RpcHandler):
+    """One storage node serving the paper's remote procedures."""
+
+    #: Remote procedures clients may invoke.
+    OPERATIONS = frozenset(
+        {
+            "read",
+            "swap",
+            "add",
+            "checktid",
+            "trylock",
+            "setlock",
+            "get_state",
+            "getrecent",
+            "reconstruct",
+            "finalize",
+            "gc_old",
+            "gc_recent",
+            "probe",
+        }
+    )
+
+    def __init__(
+        self,
+        node_id: str,
+        slot: int,
+        volumes: dict[str, VolumeMeta],
+        fresh: bool = False,
+        seed: int | None = None,
+        store: BlockStore | None = None,
+        lock_lease: float | None = None,
+    ):
+        self.node_id = node_id
+        self.slot = slot
+        self.volumes = dict(volumes)
+        self.fresh = fresh
+        self.store = store  # persistence backend (None = state-only)
+        # Lease-based lock expiry: the alternative liveness mechanism
+        # when crash notifications are unavailable (the paper's Fig. 6
+        # footnote about nodes "losing their locked state").  None
+        # disables it; with a lease, a lock held longer than this many
+        # seconds expires on next touch, exactly as if "upon failure of
+        # lid" had fired.
+        self.lock_lease = lock_lease
+        self._blocks: dict[BlockAddr, BlockState] = {}
+        self._lock = threading.RLock()
+        self._clock = 0  # node-local logical time ("auto incremented")
+        self._rng = np.random.default_rng(seed)
+        self.op_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def handle(self, op: str, *args: object, **kwargs: object) -> object:
+        if op not in self.OPERATIONS:
+            raise UnknownOperationError(f"{self.node_id}: no operation {op!r}")
+        with self._lock:
+            self.op_counts[op] = self.op_counts.get(op, 0) + 1
+            return getattr(self, op)(*args, **kwargs)
+
+    def _meta(self, addr: BlockAddr) -> VolumeMeta:
+        try:
+            return self.volumes[addr.volume]
+        except KeyError:
+            raise UnknownOperationError(
+                f"{self.node_id}: unknown volume {addr.volume!r}"
+            ) from None
+
+    def _state(self, addr: BlockAddr) -> BlockState:
+        """Materialize per-block state lazily.
+
+        An original node starts every block at content 0, NORM, unlocked
+        (Fig. 4: "block, initially 0"); a fresh replacement starts it as
+        INIT garbage ("after fail-remap random").
+        """
+        state = self._blocks.get(addr)
+        if state is None:
+            size = self._meta(addr).block_size
+            if self.fresh:
+                content = self._rng.integers(0, 256, size, dtype=np.uint8)
+                state = BlockState(block=content, opmode=OpMode.INIT)
+            else:
+                state = BlockState(block=np.zeros(size, dtype=np.uint8))
+            self._blocks[addr] = state
+        return state
+
+    def _tick(self) -> tuple[int, float]:
+        self._clock += 1
+        return self._clock, _time.monotonic()
+
+    def _entry(self, tid: Tid) -> TidEntry:
+        seq_time, wall = self._tick()
+        return TidEntry(tid=tid, seq_time=seq_time, wall_time=wall)
+
+    def _persist(self, addr: BlockAddr, state: BlockState) -> None:
+        """Push a content change to the persistence backend (if any).
+
+        Redundant-block images may be buffered by a write-back store
+        (§3.11); data blocks are always written through.
+        """
+        if self.store is None:
+            return
+        redundant = addr.index >= self._meta(addr).code.k
+        self.store.store(addr, state.block, redundant)
+
+    def _maybe_expire(self, state: BlockState) -> None:
+        """Lease expiry: a lock older than ``lock_lease`` becomes EXP."""
+        if (
+            self.lock_lease is not None
+            and state.lmode in (LockMode.L0, LockMode.L1)
+            and _time.monotonic() - state.lock_time > self.lock_lease
+        ):
+            state.lmode = LockMode.EXP
+
+    def _observe(self, addr: BlockAddr) -> None:
+        """Advance the store's sequential-write cursor (§3.11: flush a
+        buffered redundant block once a write for a large enough
+        logical block arrives)."""
+        if self.store is not None:
+            self.store.observe_stripe(addr.stripe)
+
+    def _resolve(self, addr: BlockAddr, ntid: Tid) -> tuple[BlockAddr, int | None]:
+        """Resolve a broadcast address to this node's stripe position.
+
+        Returns the concrete address plus the coefficient alpha_{ji}
+        this node must apply (None for unicast adds, where the client
+        already multiplied)."""
+        if addr.index != BROADCAST_INDEX:
+            return addr, None
+        meta = self._meta(addr)
+        layout, code = meta.layout, meta.code
+        for j in range(code.k, code.n):
+            if layout.node_of_stripe_index(addr.stripe, j) == self.slot:
+                return addr.sibling(j), code.coefficient(j, ntid.index)
+        raise UnknownOperationError(
+            f"{self.node_id}: slot {self.slot} holds no redundant block of "
+            f"stripe {addr.stripe}"
+        )
+
+    # ------------------------------------------------------------------
+    # Fig. 4 — read
+    # ------------------------------------------------------------------
+
+    def read(self, addr: BlockAddr) -> ReadResult:
+        state = self._state(addr)
+        self._maybe_expire(state)
+        if state.opmode is not OpMode.NORM or state.lmode is not LockMode.UNL:
+            return ReadResult(block=None, lmode=state.lmode)
+        return ReadResult(block=state.block.copy(), lmode=state.lmode)
+
+    # ------------------------------------------------------------------
+    # Fig. 5 — swap / add / checktid
+    # ------------------------------------------------------------------
+
+    def swap(self, addr: BlockAddr, v: np.ndarray, ntid: Tid) -> SwapResult:
+        state = self._state(addr)
+        self._maybe_expire(state)
+        if state.opmode is not OpMode.NORM or state.lmode is not LockMode.UNL:
+            return SwapResult(
+                block=None, epoch=state.epoch, otid=None, lmode=state.lmode
+            )
+        retblk = state.block
+        state.block = np.array(v, dtype=np.uint8, copy=True)
+        latest = state.latest_recent()
+        otid = latest.tid if latest is not None else None
+        state.recentlist.add(self._entry(ntid))
+        self._persist(addr, state)
+        self._observe(addr)
+        return SwapResult(block=retblk, epoch=state.epoch, otid=otid, lmode=state.lmode)
+
+    def add(
+        self,
+        addr: BlockAddr,
+        v: np.ndarray,
+        ntid: Tid,
+        otid: Tid | None,
+        e: int,
+    ) -> AddResult:
+        addr, coeff = self._resolve(addr, ntid)
+        state = self._state(addr)
+        self._maybe_expire(state)
+        if (
+            state.opmode is not OpMode.NORM
+            or state.lmode not in (LockMode.UNL, LockMode.L0)
+            or e < state.epoch
+        ):
+            return AddResult(
+                status=AddStatus.ERROR, opmode=state.opmode, lmode=state.lmode
+            )
+        if otid is not None and otid not in tids(state.recentlist | state.oldlist):
+            return AddResult(
+                status=AddStatus.ORDER, opmode=state.opmode, lmode=state.lmode
+            )
+        if coeff is None:
+            field.iadd_block(state.block, np.asarray(v, dtype=np.uint8))
+        else:
+            field.addmul_block(state.block, coeff, np.asarray(v, dtype=np.uint8))
+        state.recentlist.add(self._entry(ntid))
+        self._persist(addr, state)
+        self._observe(addr)
+        return AddResult(status=AddStatus.OK, opmode=state.opmode, lmode=state.lmode)
+
+    def checktid(self, addr: BlockAddr, ntid: Tid, otid: Tid | None) -> CheckTidStatus:
+        state = self._state(addr)
+        if ntid not in tids(state.recentlist):
+            return CheckTidStatus.INIT  # only occurs if node crashed/remapped
+        if otid is not None and otid not in tids(state.recentlist):
+            return CheckTidStatus.GC  # previous write completed and was GC'd
+        return CheckTidStatus.NOCHANGE
+
+    # ------------------------------------------------------------------
+    # Fig. 6 — recovery support
+    # ------------------------------------------------------------------
+
+    def trylock(self, addr: BlockAddr, lm: LockMode, caller: str) -> TryLockResult:
+        state = self._state(addr)
+        self._maybe_expire(state)
+        if state.lmode in (LockMode.L0, LockMode.L1):
+            return TryLockResult(ok=False, oldlmode=state.lmode)
+        old = state.lmode
+        state.lmode = lm
+        state.lid = caller
+        state.lock_time = _time.monotonic()
+        return TryLockResult(ok=True, oldlmode=old)
+
+    def setlock(self, addr: BlockAddr, lm: LockMode, caller: str) -> None:
+        state = self._state(addr)
+        state.lmode = lm
+        state.lid = caller
+        state.lock_time = _time.monotonic()
+
+    def get_state(self, addr: BlockAddr) -> StateSnapshot:
+        state = self._state(addr)
+        if state.opmode is OpMode.INIT:
+            blk = None  # uninitialized garbage must never be decoded
+        else:
+            blk = state.block.copy()
+        return StateSnapshot(
+            opmode=state.opmode,
+            recons_set=state.recons_set,
+            oldlist=frozenset(state.oldlist),
+            recentlist=frozenset(state.recentlist),
+            block=blk,
+        )
+
+    def getrecent(self, addr: BlockAddr, lm: LockMode, caller: str) -> frozenset[TidEntry]:
+        state = self._state(addr)
+        state.lmode = lm
+        state.lid = caller
+        state.lock_time = _time.monotonic()
+        return frozenset(state.recentlist)
+
+    def reconstruct(self, addr: BlockAddr, cset: frozenset[int], blk: np.ndarray) -> int:
+        state = self._state(addr)
+        state.opmode = OpMode.RECONS
+        state.recons_set = frozenset(cset)
+        state.block = np.array(blk, dtype=np.uint8, copy=True)
+        self._persist(addr, state)
+        return state.epoch
+
+    def finalize(self, addr: BlockAddr, ep: int) -> None:
+        state = self._state(addr)
+        state.epoch = ep
+        state.recentlist = set()
+        state.oldlist = set()
+        if state.opmode is OpMode.RECONS:
+            state.opmode = OpMode.NORM
+        state.lmode = LockMode.UNL
+        state.lid = None
+
+    # ------------------------------------------------------------------
+    # Fig. 7 — garbage collection
+    # ------------------------------------------------------------------
+
+    def gc_old(self, addr: BlockAddr, tid_list: list[Tid] | set[Tid]) -> str | None:
+        state = self._state(addr)
+        if state.opmode is not OpMode.NORM or state.lmode is not LockMode.UNL:
+            return None
+        drop = set(tid_list)
+        state.oldlist = {e for e in state.oldlist if e.tid not in drop}
+        return "OK"
+
+    def gc_recent(self, addr: BlockAddr, tid_list: list[Tid] | set[Tid]) -> str | None:
+        state = self._state(addr)
+        if state.opmode is not OpMode.NORM or state.lmode is not LockMode.UNL:
+            return None
+        move = set(tid_list)
+        moving = {e for e in state.recentlist if e.tid in move}
+        state.recentlist -= moving
+        state.oldlist |= moving
+        return "OK"
+
+    # ------------------------------------------------------------------
+    # Section 3.10 — monitoring probe
+    # ------------------------------------------------------------------
+
+    def probe(self, addr: BlockAddr) -> tuple[OpMode, LockMode, float | None]:
+        """Cheap health check: opmode, lmode, and the wall-clock age of
+        the oldest recentlist entry (None when the list is empty)."""
+        state = self._state(addr)
+        self._maybe_expire(state)
+        if state.recentlist:
+            oldest = min(e.wall_time for e in state.recentlist)
+            age = _time.monotonic() - oldest
+        else:
+            age = None
+        return state.opmode, state.lmode, age
+
+    # ------------------------------------------------------------------
+    # failure-detector integration & introspection
+    # ------------------------------------------------------------------
+
+    def on_client_failure(self, client_id: str) -> None:
+        """Fig. 6 bottom: "upon failure of lid when lmode in {L0, L1}:
+        lmode <- EXP".  Wired to the transport's failure listeners."""
+        with self._lock:
+            for state in self._blocks.values():
+                if state.lid == client_id and state.lmode in (
+                    LockMode.L0,
+                    LockMode.L1,
+                ):
+                    state.lmode = LockMode.EXP
+
+    def block_count(self) -> int:
+        with self._lock:
+            return len(self._blocks)
+
+    def metadata_bytes(self) -> int:
+        """Total protocol control-state held, for §6.5."""
+        with self._lock:
+            return sum(s.metadata_bytes() for s in self._blocks.values())
+
+    def peek(self, addr: BlockAddr) -> BlockState:
+        """Direct (non-RPC) state access for tests and invariant checks."""
+        with self._lock:
+            return self._state(addr)

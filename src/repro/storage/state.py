@@ -1,0 +1,151 @@
+"""Storage-node state: modes, tid lists, RPC result types.
+
+This module mirrors the global variables of the paper's Figs. 4-6:
+
+* ``opmode`` in {NORM, RECONS, INIT} — NORM: valid data; INIT: invalid
+  (fresh after fail-remap); RECONS: limbo during recovery phase 3.
+* ``lmode`` in {UNL, L0, L1, EXP} — unlocked; partial lock (adds still
+  allowed); full lock; expired lock (holder crashed).
+* ``recentlist`` / ``oldlist`` — sets of (tid, time) recording which
+  WRITEs touched the block; the consistency oracle of recovery.
+
+The result dataclasses carry exactly the tuples the pseudocode returns
+(e.g. ``swap`` returns <block, epoch, otid, lmode>).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ids import Tid
+
+
+class OpMode(enum.Enum):
+    NORM = "NORM"
+    RECONS = "RECONS"
+    INIT = "INIT"
+
+
+class LockMode(enum.Enum):
+    UNL = "UNL"
+    L0 = "L0"  # partial lock: adds allowed, everything else blocked
+    L1 = "L1"  # full lock
+    EXP = "EXP"  # lock whose holder crashed
+
+
+class AddStatus(enum.Enum):
+    OK = "OK"
+    ORDER = "ORDER"  # previous write's add not seen yet; retry later
+    ERROR = "ERROR"  # the pseudocode's bottom status
+
+
+class CheckTidStatus(enum.Enum):
+    INIT = "INIT"  # ntid unknown: node crashed/remapped since our add
+    GC = "GC"  # otid gone from recentlist: previous write completed
+    NOCHANGE = "NOCHANGE"
+
+
+@dataclass(frozen=True, slots=True)
+class TidEntry:
+    """One recentlist/oldlist item: a tid plus the node-local time it
+    was recorded (used to find "the tid with largest time" in swap and
+    to detect stale unfinished writes in the monitor)."""
+
+    tid: Tid
+    seq_time: int  # node-local logical time, strictly increasing
+    wall_time: float  # wall-clock stamp for staleness monitoring
+
+
+@dataclass(frozen=True, slots=True)
+class ReadResult:
+    block: np.ndarray | None  # None is the pseudocode's bottom
+    lmode: LockMode
+
+
+@dataclass(frozen=True, slots=True)
+class SwapResult:
+    block: np.ndarray | None
+    epoch: int
+    otid: Tid | None
+    lmode: LockMode
+
+
+@dataclass(frozen=True, slots=True)
+class AddResult:
+    status: AddStatus
+    opmode: OpMode
+    lmode: LockMode
+
+
+@dataclass(frozen=True, slots=True)
+class TryLockResult:
+    ok: bool
+    oldlmode: LockMode  # mode to restore if the recovery aborts
+
+
+@dataclass(frozen=True, slots=True)
+class StateSnapshot:
+    """What ``get_state`` returns for recovery (Fig. 6 line 28).
+
+    Deviation from the paper noted in DESIGN.md: ``block`` is returned
+    for RECONS nodes too (their content was written by a recovery and
+    is valid); only INIT nodes hide it.  Without this, a client picking
+    up a crashed recovery could find fewer than k readable blocks even
+    though the data is intact.
+    """
+
+    opmode: OpMode
+    recons_set: frozenset[int] | None
+    oldlist: frozenset[TidEntry]
+    recentlist: frozenset[TidEntry]
+    block: np.ndarray | None
+
+
+def tids(entries: frozenset[TidEntry] | set[TidEntry]) -> set[Tid]:
+    """The paper's ``tids(list)`` helper: project entries to their tids."""
+    return {entry.tid for entry in entries}
+
+
+@dataclass
+class BlockState:
+    """All per-block-slot state of one storage node.
+
+    The paper presents one storage node holding one block; a real node
+    holds one ``BlockState`` per (volume, stripe, position) it serves.
+    """
+
+    block: np.ndarray
+    opmode: OpMode = OpMode.NORM
+    lmode: LockMode = LockMode.UNL
+    epoch: int = 0
+    recentlist: set[TidEntry] = field(default_factory=set)
+    oldlist: set[TidEntry] = field(default_factory=set)
+    lid: str | None = None  # client currently holding the lock
+    lock_time: float = 0.0  # wall clock when the lock was last taken
+    recons_set: frozenset[int] | None = None
+
+    def recent_tids(self) -> set[Tid]:
+        return tids(self.recentlist)
+
+    def old_tids(self) -> set[Tid]:
+        return tids(self.oldlist)
+
+    def latest_recent(self) -> TidEntry | None:
+        """Entry with the largest node-local time (Fig. 5 line 32)."""
+        if not self.recentlist:
+            return None
+        return max(self.recentlist, key=lambda e: e.seq_time)
+
+    def metadata_bytes(self) -> int:
+        """Estimated control-state size for the §6.5 overhead numbers.
+
+        Mirrors the paper's accounting: epoch (4), opmode+lmode (1),
+        plus roughly 10 bytes per live tid entry (seq 4 + index 2 +
+        client 2 + time 2).  With empty lists this is the quiescent
+        ~5-10 bytes/block figure.
+        """
+        per_entry = 10
+        return 5 + per_entry * (len(self.recentlist) + len(self.oldlist))

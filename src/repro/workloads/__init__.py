@@ -1,0 +1,25 @@
+"""Synthetic workload generation and drivers."""
+
+from repro.workloads.driver import DriveResult, drive, drive_concurrently
+from repro.workloads.patterns import (
+    Access,
+    Pattern,
+    ReadModifyWritePattern,
+    SequentialPattern,
+    UniformPattern,
+    ZipfPattern,
+    make_pattern,
+)
+
+__all__ = [
+    "Access",
+    "DriveResult",
+    "Pattern",
+    "ReadModifyWritePattern",
+    "SequentialPattern",
+    "UniformPattern",
+    "ZipfPattern",
+    "drive",
+    "drive_concurrently",
+    "make_pattern",
+]

@@ -1,0 +1,114 @@
+"""Drive access patterns against a live (functional) cluster.
+
+Turns a :class:`~repro.workloads.patterns.Pattern` into actual
+``read_block``/``write_block`` calls from one or more client threads,
+collecting wall-clock latency samples — the §5.1-style measurement
+loop, reused by tests, examples, and the functional benches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.volume import VolumeClient
+from repro.workloads.patterns import Pattern
+
+
+@dataclass
+class DriveResult:
+    """What one drive run observed."""
+
+    reads: int = 0
+    writes: int = 0
+    errors: int = 0
+    elapsed: float = 0.0
+    read_latencies: list[float] = field(default_factory=list)
+    write_latencies: list[float] = field(default_factory=list)
+
+    @property
+    def operations(self) -> int:
+        return self.reads + self.writes
+
+    def ops_per_second(self) -> float:
+        return self.operations / self.elapsed if self.elapsed > 0 else 0.0
+
+    def throughput_mbps(self, block_size: int) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.operations * block_size / self.elapsed / 1e6
+
+    def merge(self, other: "DriveResult") -> None:
+        self.reads += other.reads
+        self.writes += other.writes
+        self.errors += other.errors
+        self.elapsed = max(self.elapsed, other.elapsed)
+        self.read_latencies.extend(other.read_latencies)
+        self.write_latencies.extend(other.write_latencies)
+
+
+def _payload(block: int, counter: int, size: int) -> bytes:
+    stamp = f"{block}:{counter}".encode()
+    return stamp[:size]
+
+
+def drive(
+    volume: VolumeClient,
+    pattern: Pattern,
+    operations: int,
+    stop: threading.Event | None = None,
+) -> DriveResult:
+    """Run ``operations`` accesses from ``pattern`` against ``volume``."""
+    result = DriveResult()
+    start = time.perf_counter()
+    it = iter(pattern)
+    for counter in range(operations):
+        if stop is not None and stop.is_set():
+            break
+        access = next(it)
+        op_start = time.perf_counter()
+        try:
+            if access.is_read:
+                volume.read_block(access.block)
+                result.reads += 1
+                result.read_latencies.append(time.perf_counter() - op_start)
+            else:
+                volume.write_block(
+                    access.block,
+                    _payload(access.block, counter, volume.block_size),
+                )
+                result.writes += 1
+                result.write_latencies.append(time.perf_counter() - op_start)
+        except Exception:
+            result.errors += 1
+    result.elapsed = time.perf_counter() - start
+    return result
+
+
+def drive_concurrently(
+    volumes: list[VolumeClient],
+    patterns: list[Pattern],
+    operations_each: int,
+) -> DriveResult:
+    """One thread per (volume, pattern) pair; merged results."""
+    if len(volumes) != len(patterns):
+        raise ValueError("need one pattern per volume client")
+    results = [DriveResult() for _ in volumes]
+
+    def worker(index: int) -> None:
+        results[index] = drive(volumes[index], patterns[index], operations_each)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(len(volumes))
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    merged = DriveResult()
+    for r in results:
+        merged.merge(r)
+    merged.elapsed = time.perf_counter() - start
+    return merged

@@ -1,0 +1,165 @@
+"""Synthetic access-pattern generators.
+
+The paper's evaluation runs uniform-random single-block operations
+("Most likely, those operations are on different locations most of the
+time", §2) and sequential scans (§3.11).  Real block workloads also
+show skew, so a Zipf generator is included for the hotspot ablations.
+
+A pattern is an infinite iterator of :class:`Access` records —
+(logical block, is_read) — consumed by drivers for the functional
+cluster (:mod:`repro.workloads.driver`) and convertible for the
+simulator.  All generators are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """One block operation to perform."""
+
+    block: int
+    is_read: bool
+
+
+class Pattern(ABC):
+    """An infinite, seeded stream of block accesses."""
+
+    def __init__(self, blocks: int, read_fraction: float, seed: int = 0):
+        if blocks < 1:
+            raise ValueError("blocks must be >= 1")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        self.blocks = blocks
+        self.read_fraction = read_fraction
+        self._rng = random.Random(seed)
+
+    def __iter__(self) -> Iterator[Access]:
+        while True:
+            yield self.next_access()
+
+    def take(self, count: int) -> list[Access]:
+        """The next ``count`` accesses (for tests and bounded drivers)."""
+        it = iter(self)
+        return [next(it) for _ in range(count)]
+
+    def _is_read(self) -> bool:
+        return self._rng.random() < self.read_fraction
+
+    @abstractmethod
+    def next_block(self) -> int:
+        """Pick the next block number."""
+
+    def next_access(self) -> Access:
+        return Access(block=self.next_block(), is_read=self._is_read())
+
+
+class UniformPattern(Pattern):
+    """Uniform random blocks — the paper's primary workload."""
+
+    def next_block(self) -> int:
+        return self._rng.randrange(self.blocks)
+
+
+class SequentialPattern(Pattern):
+    """A sequential scan with wraparound (§3.11's pipelining case)."""
+
+    def __init__(self, blocks: int, read_fraction: float, seed: int = 0,
+                 start: int = 0):
+        super().__init__(blocks, read_fraction, seed)
+        self._cursor = start % blocks
+
+    def next_block(self) -> int:
+        block = self._cursor
+        self._cursor = (self._cursor + 1) % self.blocks
+        return block
+
+
+class ZipfPattern(Pattern):
+    """Zipf-skewed block popularity (hotspot workloads).
+
+    ``theta`` in (0, 1): higher is more skewed.  Uses the standard
+    inverse-CDF construction over a precomputed harmonic table, so the
+    distribution is exact, not approximate.
+    """
+
+    def __init__(self, blocks: int, read_fraction: float, seed: int = 0,
+                 theta: float = 0.8):
+        super().__init__(blocks, read_fraction, seed)
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        self.theta = theta
+        weights = [1.0 / (rank ** theta) for rank in range(1, blocks + 1)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cumulative.append(acc)
+        self._cdf = cumulative
+        # Shuffle ranks onto block numbers so the hot set is not just
+        # the low block numbers (which striping would colocate).
+        self._rank_to_block = list(range(blocks))
+        random.Random(seed ^ 0x5EED).shuffle(self._rank_to_block)
+
+    def next_block(self) -> int:
+        u = self._rng.random()
+        lo, hi = 0, len(self._cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._rank_to_block[lo]
+
+    def hot_set(self, count: int) -> set[int]:
+        """The ``count`` most popular blocks."""
+        return set(self._rank_to_block[:count])
+
+
+class ReadModifyWritePattern(Pattern):
+    """Alternating read-then-write of the same block (OLTP-ish).
+
+    Every picked block is first read, then written — the pattern that
+    makes GWGR's full-stripe read-modify-write expensive and unsafe.
+    """
+
+    def __init__(self, blocks: int, seed: int = 0):
+        super().__init__(blocks, read_fraction=0.5, seed=seed)
+        self._pending_write: int | None = None
+
+    def next_access(self) -> Access:
+        if self._pending_write is not None:
+            block, self._pending_write = self._pending_write, None
+            return Access(block=block, is_read=False)
+        block = self._rng.randrange(self.blocks)
+        self._pending_write = block
+        return Access(block=block, is_read=True)
+
+    def next_block(self) -> int:  # pragma: no cover - unused override
+        return self._rng.randrange(self.blocks)
+
+
+def make_pattern(
+    name: str,
+    blocks: int,
+    read_fraction: float = 0.0,
+    seed: int = 0,
+    **kwargs,
+) -> Pattern:
+    """Factory by name: uniform / sequential / zipf / rmw."""
+    if name == "uniform":
+        return UniformPattern(blocks, read_fraction, seed)
+    if name == "sequential":
+        return SequentialPattern(blocks, read_fraction, seed, **kwargs)
+    if name == "zipf":
+        return ZipfPattern(blocks, read_fraction, seed, **kwargs)
+    if name == "rmw":
+        return ReadModifyWritePattern(blocks, seed)
+    raise ValueError(f"unknown pattern {name!r}")

@@ -1,0 +1,63 @@
+"""Space-overhead model (§6.5) and erasure-vs-replication blowup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.overhead import (
+    OverheadModel,
+    erasure_storage_blowup,
+    replication_equivalent,
+)
+
+
+class TestOverheadModel:
+    def test_paper_figure_10_bytes_per_block(self):
+        model = OverheadModel()
+        assert model.bytes_per_block(live_tids=0.5) == 10
+
+    def test_one_percent_at_1kb(self):
+        model = OverheadModel()
+        assert model.relative_overhead(1024, live_tids=0.5) == pytest.approx(
+            0.01, rel=0.05
+        )
+
+    def test_16kb_blocks_tiny_overhead(self):
+        """§6.5: 6 bytes at 16KB -> 0.04%."""
+        model = OverheadModel(base=6, per_tid=0)
+        assert model.relative_overhead(16 * 1024) == pytest.approx(
+            0.0004, rel=0.1
+        )
+
+    def test_overhead_grows_with_pending_writes(self):
+        model = OverheadModel()
+        assert model.bytes_per_block(5) > model.bytes_per_block(0)
+
+    def test_validation(self):
+        model = OverheadModel()
+        with pytest.raises(ValueError):
+            model.bytes_per_block(-1)
+        with pytest.raises(ValueError):
+            model.relative_overhead(0)
+
+
+class TestBlowup:
+    def test_erasure_beats_replication(self):
+        # 2-of-4 tolerates 2 losses at 2x; 3-way replication needs 3x.
+        assert erasure_storage_blowup(4, 2) == 2.0
+        assert replication_equivalent(4, 2) == 3
+
+    def test_highly_efficient_codes(self):
+        """The paper's sweet spot: large k, small n-k."""
+        assert erasure_storage_blowup(16, 14) == pytest.approx(16 / 14)
+        assert replication_equivalent(16, 14) == 3
+
+    def test_no_redundancy_edge(self):
+        assert erasure_storage_blowup(4, 4) == 1.0
+        assert replication_equivalent(4, 4) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erasure_storage_blowup(2, 3)
+        with pytest.raises(ValueError):
+            replication_equivalent(2, 0)

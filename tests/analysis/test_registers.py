@@ -1,0 +1,132 @@
+"""The multi-writer regular-register checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.registers import (
+    HistoryRecorder,
+    Op,
+    admissible_values,
+    check_regular,
+)
+
+
+def w(value, start, end, key="x"):
+    return Op("write", key, value, start, end)
+
+
+def r(value, start, end, key="x"):
+    return Op("read", key, value, start, end)
+
+
+class TestOp:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Op("scan", "x", 1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Op("read", "x", 1, 2.0, 1.0)
+
+    def test_overlap(self):
+        assert w(1, 0, 2).overlaps(r(1, 1, 3))
+        assert not w(1, 0, 1).overlaps(r(1, 2, 3))
+        assert w(1, 0, 1).overlaps(r(1, 1, 2))  # touching counts
+
+
+class TestAdmissible:
+    def test_initial_value_when_no_writes(self):
+        assert admissible_values(r(0, 1, 2), [], initial=0) == {0}
+
+    def test_last_completed_write(self):
+        writes = [w(1, 0, 1), w(2, 2, 3)]
+        assert admissible_values(r(2, 4, 5), writes) == {2}
+
+    def test_superseded_write_excluded(self):
+        """'never returns ... a value that was overwritten'."""
+        writes = [w(1, 0, 1), w(2, 2, 3)]
+        allowed = admissible_values(r(1, 4, 5), writes)
+        assert 1 not in allowed
+
+    def test_concurrent_write_both_allowed(self):
+        writes = [w(1, 0, 1), w(2, 2, 6)]
+        allowed = admissible_values(r(None, 3, 4), writes)
+        assert allowed == {1, 2}  # old value or the in-flight write
+
+    def test_two_concurrent_writes_all_allowed(self):
+        writes = [w(0, 0, 1), w(1, 2, 8), w(2, 3, 9)]
+        allowed = admissible_values(r(None, 4, 5), writes)
+        assert allowed == {0, 1, 2}
+
+    def test_concurrent_completed_writes_both_admissible(self):
+        """Two writes overlapping each other, both done before the read:
+        neither supersedes the other, so either may be 'the previous'."""
+        writes = [w(1, 0, 4), w(2, 1, 3)]
+        allowed = admissible_values(r(None, 5, 6), writes)
+        assert allowed == {1, 2}
+
+    def test_keys_are_independent(self):
+        writes = [w(1, 0, 1, key="a")]
+        assert admissible_values(r(0, 2, 3, key="b"), writes, initial=0) == {0}
+
+
+class TestCheckRegular:
+    def test_valid_history(self):
+        history = [w(1, 0, 1), r(1, 2, 3), w(2, 4, 5), r(2, 6, 7)]
+        assert check_regular(history, initial=0) == []
+
+    def test_stale_read_detected(self):
+        history = [w(1, 0, 1), w(2, 2, 3), r(1, 4, 5)]
+        violations = check_regular(history, initial=0)
+        assert len(violations) == 1
+        assert violations[0].read.value == 1
+        assert "admissible" in str(violations[0])
+
+    def test_garbage_read_detected(self):
+        history = [w(1, 0, 1), r(99, 2, 3)]
+        assert len(check_regular(history, initial=0)) == 1
+
+    def test_read_of_initial_value(self):
+        assert check_regular([r(0, 0, 1)], initial=0) == []
+        assert len(check_regular([r(1, 0, 1)], initial=0)) == 1
+
+
+class TestRecorder:
+    def test_context_manager_write(self):
+        recorder = HistoryRecorder()
+        with recorder.operation("write", key="b", value=7):
+            pass
+        ops = recorder.history()
+        assert len(ops) == 1
+        assert ops[0].kind == "write" and ops[0].value == 7
+
+    def test_context_manager_read_sets_value_late(self):
+        recorder = HistoryRecorder()
+        with recorder.operation("read", key="b") as ctx:
+            ctx.value = 42
+        assert recorder.history()[0].value == 42
+
+    def test_failed_operation_not_recorded(self):
+        recorder = HistoryRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.operation("write", key="b", value=1):
+                raise RuntimeError("crashed mid-write")
+        assert recorder.history() == []
+
+    def test_check_delegates(self):
+        recorder = HistoryRecorder()
+        with recorder.operation("write", key="b", value=1):
+            pass
+        with recorder.operation("read", key="b") as ctx:
+            ctx.value = 1
+        assert recorder.check(initial=0) == []
+
+    def test_live_cluster_history_is_regular(self, small_cluster):
+        """End-to-end: the protocol satisfies its §3.1 guarantee."""
+        vol = small_cluster.client("c")
+        recorder = HistoryRecorder()
+        for i in range(5):
+            with recorder.operation("write", key=0, value=i):
+                vol.write_block(0, bytes([i]))
+            with recorder.operation("read", key=0) as ctx:
+                ctx.value = vol.read_block(0)[0]
+        assert recorder.check(initial=None) == []

@@ -1,0 +1,148 @@
+"""Section 4 theorems and Corollary 1 — exact closed-form checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import resiliency as R
+
+
+class TestDSerial:
+    def test_paper_2of4_profile(self):
+        """The 2-of-4 running example: tolerates 0c2s, 1c1s, 2c0s."""
+        assert R.d_serial(4, 2, 0) == 2
+        assert R.d_serial(4, 2, 1) == 1
+        assert R.d_serial(4, 2, 2) == 0
+        assert R.d_serial(4, 2, 3) < 0
+
+    def test_tp_zero_gives_full_redundancy(self):
+        for k, n in [(2, 4), (4, 6), (8, 16)]:
+            assert R.d_serial(n, k, 0) == n - k
+
+    def test_requires_k_at_least_2(self):
+        with pytest.raises(ValueError):
+            R.d_serial(3, 1, 0)
+
+    def test_requires_p_at_most_k(self):
+        with pytest.raises(ValueError):
+            R.d_serial(7, 3, 0)  # n-k=4 > k=3
+
+    def test_negative_tp_rejected(self):
+        with pytest.raises(ValueError):
+            R.d_serial(4, 2, -1)
+
+
+class TestDParallel:
+    def test_parallel_never_beats_serial(self):
+        for p in range(1, 9):
+            k = max(2, p)
+            n = k + p
+            for t_p in range(0, 4):
+                assert R.d_parallel(n, k, t_p) <= R.d_serial(n, k, t_p)
+
+    def test_equal_at_tp_zero_and_one(self):
+        # 2^0 = 0+1 and 2^1 = 1+1, so the schemes agree for t_p <= 1.
+        for p in (2, 4, 6):
+            n, k = p + p, p
+            assert R.d_parallel(n, k, 0) == R.d_serial(n, k, 0)
+            assert R.d_parallel(n, k, 1) == R.d_serial(n, k, 1)
+
+    def test_exponential_penalty(self):
+        # 8 redundant blocks: serial t_p=3 -> ceil(2-1.5)=1,
+        # parallel t_p=3 -> ceil(1-1.5)=0.
+        assert R.d_serial(16, 8, 3) == 1
+        assert R.d_parallel(16, 8, 3) == 0
+
+
+class TestCorollary1:
+    @given(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=6))
+    def test_redundancy_formulas_are_integers(self, t_p, t_d):
+        assert isinstance(R.redundancy_serial(t_p, t_d), int)
+        assert isinstance(R.redundancy_parallel(t_p, t_d), int)
+
+    @given(st.integers(min_value=0, max_value=4), st.integers(min_value=1, max_value=5))
+    def test_redundancy_is_sufficient(self, t_p, t_d):
+        """delta redundant blocks must actually yield d >= t_d."""
+        delta = R.redundancy_serial(t_p, t_d)
+        if delta >= 1:
+            k = max(2, delta)  # keep n-k <= k
+            assert R.d_serial(k + delta, k, t_p) >= t_d
+        delta_par = R.redundancy_parallel(t_p, t_d)
+        if delta_par >= 1:
+            k = max(2, delta_par)
+            assert R.d_parallel(k + delta_par, k, t_p) >= t_d
+
+    def test_known_values(self):
+        assert R.redundancy_serial(0, 1) == 1
+        assert R.redundancy_serial(1, 1) == 2
+        assert R.redundancy_serial(0, 3) == 3
+        assert R.redundancy_parallel(0, 1) == 1
+        assert R.redundancy_parallel(1, 1) == 2
+        assert R.redundancy_parallel(2, 2) == 9  # 1 + 2^2 * (2+1-1)
+        assert R.redundancy_serial(2, 2) == 7  # 1 + 3 * (2+1-1)
+
+    def test_latencies(self):
+        assert R.write_latency_parallel() == 2
+        assert R.write_latency_serial(0, 1) == 2  # 1 + delta(=1)
+        assert R.write_latency_serial(0, 3) == 4
+        # Hybrid with t_p = 0: d_SERIAL == delta so rho == 2.
+        assert R.write_latency_hybrid(0, 3) == 2
+
+    def test_hybrid_between_serial_and_parallel(self):
+        for t_p in (1, 2):
+            for t_d in (1, 2):
+                hybrid = R.write_latency_hybrid(t_p, t_d)
+                serial = R.write_latency_serial(t_p, t_d)
+                assert 2 <= hybrid <= serial
+
+
+class TestHybridTheorem3:
+    def test_group_size_constraint(self):
+        # 8 redundant, t_p=1: d_serial = ceil(8/2 - .5) = 4.
+        assert R.d_serial(16, 8, 1) == 4
+        assert R.hybrid_ok(16, 8, t_p=1, t_d=4, group_size=4)
+        assert not R.hybrid_ok(16, 8, t_p=1, t_d=4, group_size=5)
+        assert not R.hybrid_ok(16, 8, t_p=1, t_d=5, group_size=4)
+
+
+class TestFig8c:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=8),
+    )
+    def test_profile_depends_only_on_redundancy(self, p, extra):
+        """Fig. 8c's observation: tolerance depends only on n-k."""
+        k1 = max(2, p)
+        k2 = k1 + extra
+        for scheme in ("serial", "parallel"):
+            a = R.resiliency_profile(k1 + p, k1, scheme)
+            b = R.resiliency_profile(k2 + p, k2, scheme)
+            assert a == b
+
+    def test_profile_strings(self):
+        profile = R.resiliency_profile(4, 2)
+        assert [str(e) for e in profile] == ["0c2s", "1c1s", "2c0s"]
+
+    def test_profile_monotone(self):
+        for p in range(1, 9):
+            k = max(2, p)
+            profile = R.resiliency_profile(k + p, k)
+            storage = [e.storage for e in profile]
+            assert storage == sorted(storage, reverse=True)
+
+
+class TestMaxClientFailures:
+    def test_matches_profile_length(self):
+        for p in (1, 2, 4, 8):
+            k = max(2, p)
+            profile = R.resiliency_profile(k + p, k, "serial")
+            assert R.max_client_failures(k + p, k, "serial") == profile[-1].clients
+
+    def test_parallel_not_more_than_serial(self):
+        for p in (2, 4, 8):
+            k = max(2, p)
+            assert R.max_client_failures(k + p, k, "parallel") <= R.max_client_failures(
+                k + p, k, "serial"
+            )

@@ -1,0 +1,86 @@
+"""The Fig. 1 analytical cost table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import costs
+
+
+class TestRows:
+    def test_fig1_formulas_3of5(self):
+        n, k, p = 5, 3, 2
+        par = costs.ajx_par(n, k)
+        assert (par.read_latency_rt, par.write_latency_rt) == (1, 2)
+        assert (par.read_messages, par.write_messages) == (2, 2 * (p + 1))
+        assert par.write_bandwidth_blocks == p + 2
+
+        bcast = costs.ajx_bcast(n, k)
+        assert bcast.write_messages == p + 3
+        assert bcast.write_bandwidth_blocks == 3
+
+        ser = costs.ajx_ser(n, k)
+        assert ser.write_latency_rt == p + 1
+        assert ser.write_messages == 2 * (p + 1)
+
+        fab_row = costs.fab(n, k)
+        assert fab_row.read_messages == 2 * k
+        assert fab_row.write_messages == 4 * n
+        assert fab_row.write_bandwidth_blocks == 2 * n + 1
+
+        gwgr_row = costs.gwgr(n, k)
+        assert gwgr_row.min_granularity_blocks == k
+        assert gwgr_row.read_messages == 2 * n
+        assert gwgr_row.read_bandwidth_blocks == n
+
+    def test_all_ajx_have_block_granularity(self):
+        for row in costs.cost_table(8, 5)[:3]:
+            assert row.min_granularity_blocks == 1
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(ValueError):
+            costs.ajx_par(4, 4)
+        with pytest.raises(ValueError):
+            costs.fab(3, 1)
+
+    def test_bandwidth_bytes_scaling(self):
+        row = costs.ajx_bcast(6, 4)
+        assert row.write_bandwidth_bytes(1024) == 3 * 1024
+        assert row.read_bandwidth_bytes(512) == 512
+
+
+class TestStructuralClaims:
+    """The qualitative claims the paper draws from Fig. 1."""
+
+    @pytest.mark.parametrize("k,p", [(4, 1), (8, 2), (14, 2), (16, 4)])
+    def test_ajx_write_messages_scale_with_p_not_n(self, k, p):
+        n = k + p
+        ajx = costs.ajx_par(n, k)
+        fab = costs.fab(n, k)
+        gwgr = costs.gwgr(n, k)
+        assert ajx.write_messages < fab.write_messages
+        assert ajx.write_messages < gwgr.write_messages
+        # For highly-efficient codes the gap is dramatic:
+        if k >= 8:
+            assert fab.write_messages / ajx.write_messages > 4
+
+    def test_ajx_read_equals_unreplicated_read(self):
+        for k, p in [(4, 2), (8, 1)]:
+            row = costs.ajx_par(k + p, k)
+            assert row.read_messages == 2
+            assert row.read_bandwidth_blocks == 1
+
+    def test_gap_grows_with_k_at_fixed_p(self):
+        p = 2
+        gaps = []
+        for k in (4, 8, 16):
+            n = k + p
+            gaps.append(
+                costs.fab(n, k).write_messages / costs.ajx_par(n, k).write_messages
+            )
+        assert gaps == sorted(gaps)
+
+    def test_table_rendering(self):
+        text = costs.format_cost_table(5, 3)
+        assert "AJX-par" in text and "GWGR" in text
+        assert len(text.splitlines()) == 7

@@ -1,0 +1,213 @@
+"""find_consistent — the recovery consistency oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client.consistency import (
+    find_consistent,
+    find_consistent_exhaustive,
+    is_consistent_set,
+)
+from repro.ids import Tid
+from repro.storage.state import OpMode, StateSnapshot, TidEntry
+
+BLOCK = np.zeros(4, dtype=np.uint8)
+
+
+def entry(seq, index, client="c", t=0):
+    return TidEntry(Tid(seq, index, client), seq_time=t, wall_time=0.0)
+
+
+def snap(recent=(), old=(), opmode=OpMode.NORM, block=BLOCK):
+    return StateSnapshot(
+        opmode=opmode,
+        recons_set=None,
+        oldlist=frozenset(old),
+        recentlist=frozenset(recent),
+        block=None if opmode is OpMode.INIT else block,
+    )
+
+
+class TestQuiescent:
+    def test_all_empty_lists_fully_consistent(self):
+        data = {j: snap() for j in range(4)}
+        assert find_consistent(data, k=2) == frozenset(range(4))
+
+    def test_init_nodes_excluded(self):
+        data = {j: snap() for j in range(4)}
+        data[3] = snap(opmode=OpMode.INIT)
+        assert find_consistent(data, k=2) == frozenset({0, 1, 2})
+
+    def test_recons_nodes_excluded_from_search(self):
+        data = {j: snap() for j in range(4)}
+        data[2] = StateSnapshot(
+            opmode=OpMode.RECONS,
+            recons_set=frozenset({0, 1}),
+            oldlist=frozenset(),
+            recentlist=frozenset(),
+            block=BLOCK,
+        )
+        assert find_consistent(data, k=2) == frozenset({0, 1, 3})
+
+
+class TestCompletedWrite:
+    def test_write_seen_everywhere_is_consistent(self):
+        t = entry(1, 0)
+        data = {
+            0: snap(recent=[t]),
+            1: snap(),
+            2: snap(recent=[t]),
+            3: snap(recent=[t]),
+        }
+        assert find_consistent(data, k=2) == frozenset(range(4))
+
+    def test_tid_in_oldlist_counts_as_done(self):
+        """GC divergence: tid moved to oldlist at one node but still in
+        recentlist at another — the G set makes them agree."""
+        t = entry(1, 0)
+        data = {
+            0: snap(old=[t]),
+            1: snap(),
+            2: snap(recent=[t]),
+            3: snap(old=[t]),
+        }
+        assert find_consistent(data, k=2) == frozenset(range(4))
+
+
+class TestPartialWrite:
+    def test_swap_without_adds_excludes_data_node(self):
+        """Crashed client after swap: the data node's pending tid is
+        nowhere else, so the maximal set rolls the write back."""
+        t = entry(1, 0)
+        data = {
+            0: snap(recent=[t]),
+            1: snap(),
+            2: snap(),
+            3: snap(),
+        }
+        assert find_consistent(data, k=2) == frozenset({1, 2, 3})
+
+    def test_partial_adds_keep_matching_redundant(self):
+        """Add reached node 2 but not node 3: {0,1,2} is consistent
+        (write visible) and beats {1,3} (write rolled back)."""
+        t = entry(1, 0)
+        data = {
+            0: snap(recent=[t]),
+            1: snap(),
+            2: snap(recent=[t]),
+            3: snap(),
+        }
+        result = find_consistent(data, k=2)
+        assert result == frozenset({0, 1, 2})
+
+    def test_two_crashed_writers_divergent_redundant(self):
+        """Writers on blocks 0 and 1; node 2 got both adds, node 3 got
+        only writer A's.  Exhaustive max should be found."""
+        ta, tb = entry(1, 0, "a"), entry(1, 1, "b")
+        data = {
+            0: snap(recent=[ta]),
+            1: snap(recent=[tb]),
+            2: snap(recent=[ta, tb]),
+            3: snap(recent=[ta]),
+        }
+        result = find_consistent(data, k=2)
+        exhaustive = find_consistent_exhaustive(data, k=2)
+        assert is_consistent_set(result, data, 2)
+        assert len(result) == len(exhaustive) == 3
+        assert result == frozenset({0, 1, 2})
+
+    def test_redundant_with_foreign_tid_rejected(self):
+        """A redundant node saw an add the data node's recentlist does
+        not contain (e.g. data node was remapped): they cannot coexist."""
+        t = entry(1, 0)
+        data = {
+            0: snap(),  # fresh lists, no pending tid
+            1: snap(),
+            2: snap(recent=[t]),
+            3: snap(),
+        }
+        result = find_consistent(data, k=2)
+        assert 2 not in result or 0 not in result
+        assert is_consistent_set(result, data, 2)
+        assert len(result) == 3
+
+
+class TestIsConsistentSet:
+    def test_empty_set_consistent(self):
+        assert is_consistent_set(frozenset(), {}, k=2)
+
+    def test_non_norm_member_fails(self):
+        data = {0: snap(opmode=OpMode.INIT), 1: snap()}
+        assert not is_consistent_set({0, 1}, data, k=2)
+
+    def test_redundant_disagreement_fails(self):
+        t = entry(1, 0)
+        data = {2: snap(recent=[t]), 3: snap()}
+        assert not is_consistent_set({2, 3}, data, k=2)
+
+    def test_data_only_sets_vacuously_consistent(self):
+        t = entry(1, 0)
+        data = {0: snap(recent=[t]), 1: snap()}
+        assert is_consistent_set({0, 1}, data, k=2)
+
+
+@st.composite
+def random_history(draw):
+    """Simulate writers whose swap/adds reached arbitrary node subsets,
+    modelling crashes at arbitrary points, plus GC at arbitrary nodes."""
+    k = draw(st.integers(min_value=2, max_value=3))
+    p = draw(st.integers(min_value=1, max_value=3))
+    n = k + p
+    writes = draw(st.integers(min_value=0, max_value=4))
+    recent: dict[int, set] = {j: set() for j in range(n)}
+    old: dict[int, set] = {j: set() for j in range(n)}
+    seq = 0
+    for _ in range(writes):
+        seq += 1
+        index = draw(st.integers(min_value=0, max_value=k - 1))
+        e = entry(seq, index, client=f"w{seq}")
+        swapped = draw(st.booleans())
+        if not swapped:
+            continue
+        recent[index].add(e)
+        complete = True
+        for j in range(k, n):
+            reached = draw(st.booleans())
+            if reached:
+                recent[j].add(e)
+            else:
+                complete = False
+        if complete and draw(st.booleans()):
+            # GC round: arbitrary subset of nodes moved it to oldlist.
+            for j in [index] + list(range(k, n)):
+                if draw(st.booleans()):
+                    recent[j].discard(e)
+                    old[j].add(e)
+    data = {j: snap(recent=recent[j], old=old[j]) for j in range(n)}
+    return k, data
+
+
+class TestAgainstExhaustive:
+    @settings(max_examples=120, deadline=None)
+    @given(random_history())
+    def test_greedy_matches_exhaustive_size(self, case):
+        """The greedy search must return a *consistent* set of the same
+        size as the true maximum (the protocol only needs size)."""
+        k, data = case
+        greedy = find_consistent(data, k)
+        exact = find_consistent_exhaustive(data, k)
+        assert is_consistent_set(greedy, data, k)
+        assert len(greedy) == len(exact)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_history())
+    def test_incomplete_writes_never_split_brain(self, case):
+        """Any returned set, decoded, reflects one write history: all
+        redundant members carry identical pending-tid sets."""
+        k, data = case
+        result = find_consistent(data, k)
+        assert is_consistent_set(result, data, k)

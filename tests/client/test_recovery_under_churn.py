@@ -1,0 +1,91 @@
+"""Recovery while nodes keep failing — the online-recovery guarantees."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.client.config import ClientConfig
+from repro.core.cluster import Cluster
+
+
+def fill(size, value):
+    return np.full(size, value % 256, dtype=np.uint8)
+
+
+class TestCrashDuringRecovery:
+    def test_node_crash_between_detection_and_recovery(self, cluster_3of5):
+        """The slot fails again right after remap: recovery must route
+        through a second remap (the _call retry loops of Fig. 6's
+        implementation) and still complete."""
+        client = cluster_3of5.protocol_client("c")
+        for i in range(3):
+            client.write(0, i, fill(cluster_3of5.meta.block_size, i + 1))
+        slot = cluster_3of5.layout.node_of_stripe_index(0, 0)
+        cluster_3of5.crash_storage(slot)
+        # First access remaps + recovers.
+        assert client.read(0, 0)[0] == 1
+        # Kill the replacement too (still within n-k = 2 budget overall
+        # because the first incarnation was fully recovered).
+        cluster_3of5.crash_storage(slot)
+        assert client.read(0, 0)[0] == 1
+        assert cluster_3of5.stripe_consistent(0)
+        assert cluster_3of5.directory.incarnation(slot) == 2
+
+    def test_second_node_crashes_while_recovery_runs(self):
+        """A concurrent crash *during* a recovery: the recovery either
+        absorbs it (remap + INIT treated like any other) or the next
+        access finishes the job; either way data survives since the
+        total simultaneous damage stays within n - k."""
+        cluster = Cluster(k=3, n=5, block_size=64)
+        client = cluster.protocol_client(
+            "c", ClientConfig(recovery_wait_limit=50, backoff=0.0005)
+        )
+        for i in range(3):
+            client.write(0, i, fill(64, i + 1))
+        slot_a = cluster.layout.node_of_stripe_index(0, 3)
+        slot_b = cluster.layout.node_of_stripe_index(0, 4)
+        cluster.crash_storage(slot_a)
+
+        crashed = threading.Event()
+
+        def late_crash():
+            crashed.wait(timeout=5)
+            cluster.crash_storage(slot_b)
+
+        thread = threading.Thread(target=late_crash)
+        thread.start()
+        crashed.set()
+        # Drive recovery repeatedly until the stripe settles.
+        for _ in range(5):
+            client._start_recovery(0)
+            if cluster.stripe_consistent(0):
+                break
+        thread.join()
+        client._start_recovery(0)
+        assert cluster.stripe_consistent(0)
+        for i in range(3):
+            assert client.read(0, i)[0] == i + 1
+
+
+class TestRepeatedChurn:
+    @pytest.mark.parametrize("rounds", [3])
+    def test_rolling_single_failures_never_lose_data(self, rounds):
+        """Rolling failures: one node at a time, fully repaired between
+        (§4 'Resetting the number of failures')."""
+        cluster = Cluster(k=3, n=5, block_size=64)
+        vol = cluster.client("c")
+        for b in range(9):
+            vol.write_block(b, bytes([b + 1]))
+        for round_no in range(rounds):
+            slot = round_no % 5
+            cluster.crash_storage(slot)
+            vol.monitor_sweep(range(3))  # full repair resets the budget
+            for b in range(9):
+                assert vol.read_block(b)[:1] == bytes([b + 1]), (round_no, b)
+        for s in range(3):
+            assert cluster.stripe_consistent(s)
+        # Every slot that failed got a fresh incarnation.
+        assert sum(cluster.directory.incarnation(s) for s in range(5)) == rounds

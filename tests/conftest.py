@@ -1,0 +1,29 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import Cluster
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """A 2-of-4 cluster (the paper's running example of §3.3)."""
+    return Cluster(k=2, n=4, block_size=64)
+
+
+@pytest.fixture
+def cluster_3of5() -> Cluster:
+    """The 3-of-5 code used in the paper's Fig. 9d experiment."""
+    return Cluster(k=3, n=5, block_size=128)
+
+
+def random_block(rng: np.random.Generator, size: int) -> np.ndarray:
+    return rng.integers(0, 256, size, dtype=np.uint8)

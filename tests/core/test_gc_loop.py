@@ -1,0 +1,47 @@
+"""Background GC loop on the volume client."""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.cluster import Cluster
+
+
+class TestGcLoop:
+    def test_loop_keeps_metadata_bounded(self):
+        cluster = Cluster(k=2, n=4, block_size=32)
+        vol = cluster.client("c")
+        stop = vol.start_gc_loop(interval=0.005)
+        try:
+            for i in range(60):
+                vol.write_block(i % 8, bytes([i % 256]))
+        finally:
+            stop()
+        # After the final drain, quiescent overhead is back to floor.
+        assert cluster.metadata_bytes() / cluster.block_count() <= 10
+        for s in range(4):
+            assert cluster.stripe_consistent(s)
+
+    def test_stop_is_idempotent(self):
+        cluster = Cluster(k=2, n=4, block_size=32)
+        vol = cluster.client("c")
+        stop = vol.start_gc_loop(interval=0.01)
+        stop()
+        stop()  # second call harmless
+        vol.stop_gc_loop()  # and the explicit API too
+
+    def test_restart_replaces_old_loop(self):
+        cluster = Cluster(k=2, n=4, block_size=32)
+        vol = cluster.client("c")
+        vol.start_gc_loop(interval=0.01)
+        first = vol._gc_loop[0]
+        vol.start_gc_loop(interval=0.01)
+        second = vol._gc_loop[0]
+        assert first is not second
+        assert not first.is_alive() or first.join(timeout=5) is None
+        vol.stop_gc_loop()
+
+    def test_stop_without_start_is_noop(self):
+        cluster = Cluster(k=2, n=4, block_size=32)
+        vol = cluster.client("c")
+        vol.stop_gc_loop()  # never started; must not raise

@@ -1,0 +1,137 @@
+"""Matrix algebra over GF(2^8)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import matrix
+from repro.gf import field
+
+
+def random_matrix(rng, rows, cols):
+    return rng.integers(0, 256, (rows, cols), dtype=np.uint8)
+
+
+class TestMatmul:
+    def test_identity_is_neutral(self, rng):
+        m = random_matrix(rng, 4, 4)
+        eye = matrix.identity(4)
+        assert np.array_equal(matrix.matmul(eye, m), m)
+        assert np.array_equal(matrix.matmul(m, eye), m)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            matrix.matmul(random_matrix(rng, 2, 3), random_matrix(rng, 2, 3))
+
+    def test_matches_elementwise_definition(self, rng):
+        a = random_matrix(rng, 3, 4)
+        b = random_matrix(rng, 4, 2)
+        c = matrix.matmul(a, b)
+        for i in range(3):
+            for j in range(2):
+                expected = 0
+                for t in range(4):
+                    expected = field.add(
+                        expected, field.mul(int(a[i, t]), int(b[t, j]))
+                    )
+                assert c[i, j] == expected
+
+    def test_associative(self, rng):
+        a = random_matrix(rng, 2, 3)
+        b = random_matrix(rng, 3, 4)
+        c = random_matrix(rng, 4, 2)
+        left = matrix.matmul(matrix.matmul(a, b), c)
+        right = matrix.matmul(a, matrix.matmul(b, c))
+        assert np.array_equal(left, right)
+
+
+class TestMatvecBlocks:
+    def test_applies_rows(self, rng):
+        m = random_matrix(rng, 2, 3)
+        blocks = [rng.integers(0, 256, 16, dtype=np.uint8) for _ in range(3)]
+        out = matrix.matvec_blocks(m, blocks)
+        assert len(out) == 2
+        for i in range(2):
+            expected = np.zeros(16, dtype=np.uint8)
+            for j in range(3):
+                field.addmul_block(expected, int(m[i, j]), blocks[j])
+            assert np.array_equal(out[i], expected)
+
+    def test_wrong_block_count(self, rng):
+        with pytest.raises(ValueError):
+            matrix.matvec_blocks(random_matrix(rng, 2, 3), [np.zeros(4, np.uint8)])
+
+
+class TestInvert:
+    def test_identity_inverse(self):
+        eye = matrix.identity(5)
+        assert np.array_equal(matrix.invert(eye), eye)
+
+    def test_singular_raises(self):
+        singular = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        with pytest.raises(matrix.SingularMatrixError):
+            matrix.invert(singular)
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(matrix.SingularMatrixError):
+            matrix.invert(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError):
+            matrix.invert(random_matrix(rng, 2, 3))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_inverse_roundtrip(self, size, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, 256, (size, size), dtype=np.uint8)
+        try:
+            inv = matrix.invert(m)
+        except matrix.SingularMatrixError:
+            return  # random singular matrices are fine to skip
+        assert np.array_equal(matrix.matmul(m, inv), matrix.identity(size))
+        assert np.array_equal(matrix.matmul(inv, m), matrix.identity(size))
+
+
+class TestConstructions:
+    def test_vandermonde_entries(self):
+        v = matrix.vandermonde(4, 3)
+        for i in range(4):
+            for j in range(3):
+                assert v[i, j] == field.pow_(i, j)
+
+    def test_vandermonde_any_rows_invertible(self):
+        v = matrix.vandermonde(6, 3)
+        for rows in itertools.combinations(range(6), 3):
+            sub = v[list(rows), :]
+            matrix.invert(sub)  # must not raise
+
+    def test_cauchy_requires_disjoint(self):
+        with pytest.raises(ValueError):
+            matrix.cauchy([1, 2], [2, 3])
+
+    def test_cauchy_any_square_submatrix_invertible(self):
+        c = matrix.cauchy([10, 11, 12], [1, 2, 3])
+        for rows in itertools.combinations(range(3), 2):
+            for cols in itertools.combinations(range(3), 2):
+                matrix.invert(c[np.ix_(rows, cols)])
+
+    @pytest.mark.parametrize("construction", ["vandermonde", "cauchy"])
+    @pytest.mark.parametrize("k,n", [(2, 4), (3, 5), (4, 7), (5, 8)])
+    def test_systematic_generator_is_mds(self, construction, k, n):
+        gen = matrix.systematic_generator(n, k, construction)
+        assert np.array_equal(gen[:k], matrix.identity(k))
+        # MDS: every k x k submatrix of the generator is invertible.
+        for rows in itertools.combinations(range(n), k):
+            matrix.invert(gen[list(rows), :])
+
+    def test_systematic_generator_validates_params(self):
+        with pytest.raises(ValueError):
+            matrix.systematic_generator(2, 3)
+        with pytest.raises(ValueError):
+            matrix.systematic_generator(4, 2, "nonsense")

@@ -1,0 +1,107 @@
+"""Stripe layout and redundancy rotation (§3.11)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.erasure.striping import StripeLayout
+
+
+class TestBasics:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            StripeLayout(0, 4)
+        with pytest.raises(ValueError):
+            StripeLayout(4, 4)
+
+    def test_stripe_of(self):
+        layout = StripeLayout(3, 5)
+        assert layout.stripe_of(0) == 0
+        assert layout.stripe_of(2) == 0
+        assert layout.stripe_of(3) == 1
+
+    def test_negative_logical_rejected(self):
+        layout = StripeLayout(3, 5)
+        with pytest.raises(ValueError):
+            layout.locate(-1)
+
+    def test_data_index_cycles(self):
+        layout = StripeLayout(3, 5)
+        assert [layout.data_index_of(b) for b in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_logical_blocks_of_stripe(self):
+        layout = StripeLayout(3, 5)
+        assert list(layout.logical_blocks_of_stripe(2)) == [6, 7, 8]
+
+
+class TestPlacement:
+    def test_consecutive_blocks_hit_different_nodes(self):
+        """The §3.11 sequential-I/O property."""
+        layout = StripeLayout(4, 6)
+        nodes = [layout.locate(b).node for b in range(12)]
+        for a, b in zip(nodes, nodes[1:]):
+            assert a != b
+
+    def test_no_rotation_is_raid4_like(self):
+        layout = StripeLayout(2, 4, rotate=False)
+        for stripe in range(5):
+            assert layout.stripe_nodes(stripe) == (0, 1, 2, 3)
+        assert layout.redundancy_share(3, 20) == 1.0
+        assert layout.redundancy_share(0, 20) == 0.0
+
+    def test_rotation_spreads_redundancy(self):
+        layout = StripeLayout(2, 4, rotate=True)
+        shares = [layout.redundancy_share(node, 400) for node in range(4)]
+        for share in shares:
+            assert share == pytest.approx(0.5)  # (n-k)/n
+
+    def test_stripe_nodes_is_permutation(self):
+        layout = StripeLayout(3, 5)
+        for stripe in range(7):
+            assert sorted(layout.stripe_nodes(stripe)) == list(range(5))
+
+    def test_locate_consistency(self):
+        layout = StripeLayout(3, 5)
+        loc = layout.locate(7)
+        assert loc.stripe == 2
+        assert loc.data_index == 1
+        assert loc.node == layout.node_of_stripe_index(2, 1)
+        assert loc.redundant_nodes == tuple(
+            layout.node_of_stripe_index(2, j) for j in (3, 4)
+        )
+
+    def test_out_of_range_index(self):
+        layout = StripeLayout(2, 4)
+        with pytest.raises(ValueError):
+            layout.node_of_stripe_index(0, 4)
+        with pytest.raises(ValueError):
+            layout.redundancy_share(4, 10)
+        with pytest.raises(ValueError):
+            layout.redundancy_share(0, 0)
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+        st.booleans(),
+    )
+    def test_each_stripe_position_maps_to_unique_node(self, k, p, logical, rotate):
+        layout = StripeLayout(k, k + p, rotate=rotate)
+        loc = layout.locate(logical)
+        assert 0 <= loc.node < k + p
+        assert loc.node not in loc.redundant_nodes
+        assert len(set(loc.redundant_nodes)) == p
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_locate_roundtrip(self, k, p, logical):
+        layout = StripeLayout(k, k + p)
+        loc = layout.locate(logical)
+        assert loc.stripe * k + loc.data_index == logical

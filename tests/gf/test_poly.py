@@ -1,0 +1,103 @@
+"""Polynomials over GF(2^8)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf import field, poly
+
+coeff_lists = st.lists(st.integers(min_value=0, max_value=255), max_size=8)
+
+
+class TestBasics:
+    def test_normalize_strips_trailing_zeros(self):
+        assert poly.normalize([1, 2, 0, 0]) == [1, 2]
+        assert poly.normalize([0, 0]) == []
+
+    def test_degree(self):
+        assert poly.degree([]) == -1
+        assert poly.degree([5]) == 0
+        assert poly.degree([0, 0, 3]) == 2
+
+    def test_add_self_is_zero(self):
+        p = [1, 2, 3]
+        assert poly.add(p, p) == []
+
+    def test_evaluate_constant(self):
+        assert poly.evaluate([42], 7) == 42
+
+    def test_evaluate_linear(self):
+        # p(x) = 3 + 2x at x=5 -> 3 + 2*5
+        expected = field.add(3, field.mul(2, 5))
+        assert poly.evaluate([3, 2], 5) == expected
+
+    def test_mul_by_zero_poly(self):
+        assert poly.mul([1, 2], []) == []
+
+    def test_scale(self):
+        assert poly.scale([1, 2], 0) == []
+        assert poly.scale([1, 2], 1) == [1, 2]
+
+
+class TestAlgebra:
+    @given(coeff_lists, coeff_lists)
+    def test_add_commutative(self, p, q):
+        assert poly.add(p, q) == poly.add(q, p)
+
+    @given(coeff_lists, coeff_lists)
+    def test_mul_commutative(self, p, q):
+        assert poly.mul(p, q) == poly.mul(q, p)
+
+    @given(coeff_lists, coeff_lists, st.integers(min_value=0, max_value=255))
+    def test_evaluation_is_ring_hom(self, p, q, x):
+        lhs = poly.evaluate(poly.mul(p, q), x)
+        rhs = field.mul(poly.evaluate(p, x), poly.evaluate(q, x))
+        assert lhs == rhs
+        lhs = poly.evaluate(poly.add(p, q), x)
+        rhs = field.add(poly.evaluate(p, x), poly.evaluate(q, x))
+        assert lhs == rhs
+
+    @given(coeff_lists, coeff_lists)
+    def test_mul_degree(self, p, q):
+        p, q = poly.normalize(p), poly.normalize(q)
+        product = poly.mul(p, q)
+        if p and q:
+            assert poly.degree(product) == poly.degree(p) + poly.degree(q)
+        else:
+            assert product == []
+
+
+class TestInterpolation:
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(field.GFError):
+            poly.lagrange_interpolate([(1, 2), (1, 3)])
+
+    def test_interpolate_constant(self):
+        p = poly.lagrange_interpolate([(0, 9), (1, 9), (2, 9)])
+        assert p == [9]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=255),
+                st.integers(min_value=0, max_value=255),
+            ),
+            min_size=1,
+            max_size=6,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_interpolation_passes_through_points(self, points):
+        p = poly.lagrange_interpolate(points)
+        assert poly.degree(p) < len(points)
+        for x, y in points:
+            assert poly.evaluate(p, x) == y
+
+    @given(coeff_lists, st.integers(min_value=2, max_value=9))
+    def test_roundtrip_poly_to_points_and_back(self, coeffs, extra):
+        original = poly.normalize(coeffs)
+        num_points = len(original) + extra
+        points = [(x, poly.evaluate(original, x)) for x in range(num_points)]
+        assert poly.lagrange_interpolate(points) == original

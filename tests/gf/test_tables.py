@@ -1,0 +1,68 @@
+"""Tests for the GF(2^8) log/antilog tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf import tables
+
+
+class TestExpLogTables:
+    def test_exp_cycle_length(self):
+        # The generator has multiplicative order 255 (primitive poly).
+        seen = set(int(tables.EXP_TABLE[i]) for i in range(tables.GROUP_ORDER))
+        assert len(seen) == 255
+        assert 0 not in seen
+
+    def test_exp_table_doubled(self):
+        for i in range(tables.GROUP_ORDER):
+            assert tables.EXP_TABLE[i] == tables.EXP_TABLE[i + tables.GROUP_ORDER]
+
+    def test_log_exp_roundtrip(self):
+        for a in range(1, 256):
+            assert tables.EXP_TABLE[tables.LOG_TABLE[a]] == a
+
+    def test_log_zero_is_poison(self):
+        # Using log(0) must not silently produce a field element.
+        assert tables.LOG_TABLE[0] >= len(tables.EXP_TABLE) - 1
+
+    def test_generator_is_two(self):
+        assert tables.EXP_TABLE[1] == tables.GENERATOR
+
+
+class TestMulTable:
+    def test_zero_row_and_column(self):
+        assert not tables.MUL_TABLE[0].any()
+        assert not tables.MUL_TABLE[:, 0].any()
+
+    def test_identity_row(self):
+        assert np.array_equal(tables.MUL_TABLE[1], np.arange(256, dtype=np.uint8))
+
+    def test_symmetry(self):
+        assert np.array_equal(tables.MUL_TABLE, tables.MUL_TABLE.T)
+
+    def test_agrees_with_carryless_multiply(self):
+        def slow_mul(a: int, b: int) -> int:
+            result = 0
+            while b:
+                if b & 1:
+                    result ^= a
+                a <<= 1
+                if a & 0x100:
+                    a ^= tables.PRIMITIVE_POLY
+                b >>= 1
+            return result
+
+        for a in [0, 1, 2, 3, 7, 85, 128, 200, 255]:
+            for b in [0, 1, 2, 9, 77, 129, 254, 255]:
+                assert tables.MUL_TABLE[a, b] == slow_mul(a, b), (a, b)
+
+
+class TestInvTable:
+    def test_inverse_property(self):
+        for a in range(1, 256):
+            inv = int(tables.INV_TABLE[a])
+            assert tables.MUL_TABLE[a, inv] == 1, a
+
+    def test_inverse_of_one(self):
+        assert tables.INV_TABLE[1] == 1

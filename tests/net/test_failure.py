@@ -1,0 +1,43 @@
+"""Failure detector wiring."""
+
+from __future__ import annotations
+
+from repro.net.failure import FailureDetector, LeaseClock
+from repro.net.local import LocalTransport
+
+
+class TestFailureDetector:
+    def test_detects_crash(self):
+        t = LocalTransport()
+        t.register("node")
+        fd = FailureDetector(t)
+        assert not fd.is_failed("node")
+        t.crash("node")
+        assert fd.is_failed("node")
+
+    def test_callback_fires_on_crash(self):
+        t = LocalTransport()
+        t.register("node")
+        fd = FailureDetector(t)
+        seen = []
+        fd.on_failure(seen.append)
+        t.crash("node")
+        assert seen == ["node"]
+
+
+class TestLeaseClock:
+    def test_monotonic(self):
+        clock = LeaseClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_scale(self):
+        fast = LeaseClock(scale=1000.0)
+        slow = LeaseClock(scale=1.0)
+        assert fast.now() > slow.now()
+
+    def test_elapsed_since(self):
+        clock = LeaseClock()
+        then = clock.now()
+        assert clock.elapsed_since(then) >= 0

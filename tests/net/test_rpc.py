@@ -1,0 +1,81 @@
+"""pfor and NodeProxy."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.net.local import LocalTransport
+from repro.net.rpc import NodeProxy, pfor
+from repro.net.transport import RpcHandler
+
+
+class TestPfor:
+    def test_empty(self):
+        assert pfor([], lambda x: x) == {}
+
+    def test_single_item_inline(self):
+        assert pfor([3], lambda x: x * 2) == {3: 6}
+
+    def test_results_keyed_by_item(self):
+        out = pfor([1, 2, 3], lambda x: x * x)
+        assert out == {1: 1, 2: 4, 3: 9}
+
+    def test_exceptions_captured_not_raised(self):
+        def body(x):
+            if x == 2:
+                raise ValueError("two")
+            return x
+
+        out = pfor([1, 2, 3], body)
+        assert out[1] == 1
+        assert isinstance(out[2], ValueError)
+        assert out[3] == 3
+
+    def test_single_item_exception_captured(self):
+        out = pfor([1], lambda x: 1 / 0)
+        assert isinstance(out[1], ZeroDivisionError)
+
+    def test_runs_in_parallel(self):
+        barrier = threading.Barrier(4, timeout=5)
+
+        def body(x):
+            barrier.wait()  # deadlocks unless all 4 run concurrently
+            return x
+
+        start = time.perf_counter()
+        out = pfor([1, 2, 3, 4], body)
+        assert time.perf_counter() - start < 5
+        assert set(out.values()) == {1, 2, 3, 4}
+
+
+class Adder(RpcHandler):
+    def handle(self, op, *args, **kwargs):
+        if op == "add":
+            return sum(args)
+        raise AttributeError(op)
+
+
+class TestNodeProxy:
+    @pytest.fixture
+    def proxy(self):
+        t = LocalTransport()
+        t.register("server", Adder())
+        t.register("client")
+        return NodeProxy(t, "client", "server")
+
+    def test_attribute_call(self, proxy):
+        assert proxy.add(1, 2, 3) == 6
+
+    def test_explicit_call(self, proxy):
+        assert proxy.call("add", 4, 5) == 9
+
+    def test_private_attribute_raises(self, proxy):
+        with pytest.raises(AttributeError):
+            proxy._secret()
+
+    def test_binds_src_dst(self, proxy):
+        assert proxy.src == "client"
+        assert proxy.dst == "server"

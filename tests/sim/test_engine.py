@@ -1,0 +1,204 @@
+"""Discrete-event engine: ordering, resources, fork/join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import All, Resource, Simulator, Spawn, Timeout, Use
+
+
+class TestTimeouts:
+    def test_time_advances(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield Timeout(1.0)
+            log.append(sim.now)
+            yield Timeout(2.5)
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [1.0, 3.5]
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+
+        def proc():
+            while True:
+                yield Timeout(1.0)
+
+        sim.spawn(proc())
+        assert sim.run(until=5.5) == 5.5
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(delay, tag):
+            yield Timeout(delay)
+            log.append(tag)
+
+        sim.spawn(proc(3.0, "c"))
+        sim.spawn(proc(1.0, "a"))
+        sim.spawn(proc(2.0, "b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_ties_broken_by_spawn_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(tag):
+            yield Timeout(1.0)
+            log.append(tag)
+
+        for tag in "xyz":
+            sim.spawn(proc(tag))
+        sim.run()
+        assert log == ["x", "y", "z"]
+
+
+class TestResources:
+    def test_fifo_serialization(self):
+        sim = Simulator()
+        nic = Resource("nic")
+        ends = []
+
+        def proc():
+            yield Use(nic, 2.0)
+            ends.append(sim.now)
+
+        sim.spawn(proc())
+        sim.spawn(proc())
+        sim.run()
+        assert ends == [2.0, 4.0]  # second request queues behind first
+
+    def test_capacity_two_overlaps(self):
+        sim = Simulator()
+        pool = Resource("pool", capacity=2)
+        ends = []
+
+        def proc():
+            yield Use(pool, 2.0)
+            ends.append(sim.now)
+
+        for _ in range(3):
+            sim.spawn(proc())
+        sim.run()
+        assert ends == [2.0, 2.0, 4.0]
+
+    def test_utilization_accounting(self):
+        sim = Simulator()
+        cpu = Resource("cpu")
+
+        def proc():
+            yield Use(cpu, 1.0)
+            yield Timeout(3.0)
+
+        sim.spawn(proc())
+        sim.run()
+        assert cpu.utilization(sim.now) == pytest.approx(0.25)
+        assert cpu.requests == 1
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            Resource("r").reserve(0.0, -1.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource("r", capacity=0)
+
+    def test_zero_elapsed_utilization(self):
+        assert Resource("r").utilization(0.0) == 0.0
+
+
+class TestForkJoin:
+    def test_all_waits_for_slowest_child(self):
+        sim = Simulator()
+        done_at = []
+
+        def child(d):
+            yield Timeout(d)
+
+        def parent():
+            yield All((child(1.0), child(5.0), child(3.0)))
+            done_at.append(sim.now)
+
+        sim.spawn(parent())
+        sim.run()
+        assert done_at == [5.0]
+
+    def test_empty_all_resumes_immediately(self):
+        sim = Simulator()
+        flag = []
+
+        def parent():
+            yield All(())
+            flag.append(sim.now)
+
+        sim.spawn(parent())
+        sim.run()
+        assert flag == [0.0]
+
+    def test_children_share_resources(self):
+        sim = Simulator()
+        nic = Resource("nic")
+        done = []
+
+        def child():
+            yield Use(nic, 1.0)
+
+        def parent():
+            yield All((child(), child(), child()))
+            done.append(sim.now)
+
+        sim.spawn(parent())
+        sim.run()
+        assert done == [3.0]  # serialized at the shared NIC
+
+    def test_spawn_is_fire_and_forget(self):
+        sim = Simulator()
+        log = []
+
+        def background():
+            yield Timeout(10.0)
+            log.append("bg")
+
+        def parent():
+            yield Spawn(background())
+            yield Timeout(1.0)
+            log.append("parent")
+
+        sim.spawn(parent())
+        sim.run()
+        assert log == ["parent", "bg"]
+
+    def test_nested_all(self):
+        sim = Simulator()
+        done = []
+
+        def leaf(d):
+            yield Timeout(d)
+
+        def mid():
+            yield All((leaf(2.0), leaf(1.0)))
+
+        def parent():
+            yield All((mid(), leaf(0.5)))
+            done.append(sim.now)
+
+        sim.spawn(parent())
+        sim.run()
+        assert done == [2.0]
+
+    def test_unknown_command_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not-a-command"
+
+        sim.spawn(proc())
+        with pytest.raises(TypeError):
+            sim.run()

@@ -1,0 +1,152 @@
+"""End-to-end simulation experiments: the Figs. 9/10 shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.config import WriteStrategy
+from repro.sim.experiments import run_throughput, sweep
+from repro.sim.workload import WorkloadSpec
+
+FAST = dict(duration=0.25, warmup=0.05, stripes=128)
+
+
+class TestWorkloadSpecValidation:
+    def test_bad_read_fraction(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(read_fraction=1.5)
+
+    def test_bad_outstanding(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(outstanding=0)
+
+    def test_warmup_must_precede_duration(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(duration=0.1, warmup=0.2)
+
+
+class TestThroughputShapes:
+    def test_writes_complete_and_throughput_positive(self):
+        result = run_throughput(1, 2, 4, WorkloadSpec(outstanding=4, **FAST))
+        assert result.write_ops > 0
+        assert result.write_mbps > 0
+        assert result.read_ops == 0
+
+    def test_throughput_grows_with_outstanding_then_flattens(self):
+        """Fig. 9a: curves flatten once the client NIC saturates."""
+        results = [
+            run_throughput(2, 3, 5, WorkloadSpec(outstanding=o, **FAST))
+            for o in (1, 8, 64)
+        ]
+        t1, t8, t64 = (r.write_mbps for r in results)
+        assert t8 > t1 * 2
+        assert t64 < t8 * 1.5  # flattened
+        assert results[-1].max_client_nic_utilization > 0.9
+
+    def test_write_throughput_decreases_with_redundancy(self):
+        """Fig. 9c / 10c: more redundancy -> more client bytes per write."""
+        mbps = [
+            run_throughput(2, 4, 4 + p, WorkloadSpec(outstanding=16, **FAST)).write_mbps
+            for p in (1, 2, 4)
+        ]
+        assert mbps[0] > mbps[1] > mbps[2]
+
+    def test_decrease_gentler_for_larger_k(self):
+        """Fig. 9c: the p-penalty is relatively smaller at large k...
+        in absolute client-bandwidth terms the ratio (p+2)B governs."""
+        small_k = [
+            run_throughput(1, 2, 2 + p, WorkloadSpec(outstanding=16, **FAST)).write_mbps
+            for p in (1, 2)
+        ]
+        large_k = [
+            run_throughput(1, 8, 8 + p, WorkloadSpec(outstanding=16, **FAST)).write_mbps
+            for p in (1, 2)
+        ]
+        drop_small = small_k[1] / small_k[0]
+        drop_large = large_k[1] / large_k[0]
+        assert drop_large >= drop_small * 0.95  # no worse for large k
+
+    def test_aggregate_write_throughput_scales_with_clients(self):
+        """Fig. 9b / 10a: slope positive, then storage saturates."""
+        results = sweep(
+            "num_clients",
+            [1, 2, 4],
+            base=dict(k=3, n=5),
+            spec_overrides=dict(outstanding=8, **FAST),
+        )
+        mbps = [r.write_mbps for r in results]
+        assert mbps[1] > mbps[0] * 1.5
+        assert mbps[2] > mbps[1]
+
+    def test_read_throughput_independent_of_k(self):
+        """Fig. 10b: reads never touch redundant nodes."""
+        spec = WorkloadSpec(outstanding=8, read_fraction=1.0, **FAST)
+        r1 = run_throughput(2, 2, 6, spec)
+        r2 = run_throughput(2, 4, 8, spec)
+        assert r1.read_mbps == pytest.approx(r2.read_mbps, rel=0.15)
+
+    def test_reads_faster_than_writes(self):
+        """§6.2: read throughput typically 4-5x write throughput."""
+        write = run_throughput(2, 3, 5, WorkloadSpec(outstanding=16, **FAST))
+        read = run_throughput(
+            2, 3, 5, WorkloadSpec(outstanding=16, read_fraction=1.0, **FAST)
+        )
+        assert read.read_mbps > 2.5 * write.write_mbps
+
+
+class TestBroadcastOptimization:
+    def test_single_client_broadcast_flat_in_redundancy(self):
+        """Fig. 10d: with broadcast, 1-client write throughput does not
+        decrease as n-k grows."""
+        spec = lambda: WorkloadSpec(
+            outstanding=8, strategy=WriteStrategy.BROADCAST, **FAST
+        )
+        mbps = [
+            run_throughput(1, 4, 4 + p, spec()).write_mbps for p in (1, 2, 4)
+        ]
+        assert mbps[2] > mbps[0] * 0.8  # flat within noise
+
+    def test_unicast_same_sweep_decreases(self):
+        spec = lambda: WorkloadSpec(outstanding=8, **FAST)
+        mbps = [
+            run_throughput(1, 4, 4 + p, spec()).write_mbps for p in (1, 2, 4)
+        ]
+        assert mbps[2] < mbps[0] * 0.6
+
+
+class TestProtocolComparison:
+    def test_ajx_beats_fab_and_gwgr_random_writes(self):
+        """The headline comparison for random I/O with efficient codes."""
+        mbps = {}
+        for proto in ("ajx", "fab", "gwgr"):
+            spec = WorkloadSpec(outstanding=8, protocol=proto, **FAST)
+            mbps[proto] = run_throughput(2, 4, 6, spec).write_mbps
+        assert mbps["ajx"] > mbps["fab"]
+        assert mbps["ajx"] > mbps["gwgr"]
+
+    def test_gap_widens_with_k(self):
+        gaps = []
+        for k in (2, 6):
+            ajx = run_throughput(
+                1, k, k + 2, WorkloadSpec(outstanding=8, protocol="ajx", **FAST)
+            ).write_mbps
+            fab = run_throughput(
+                1, k, k + 2, WorkloadSpec(outstanding=8, protocol="fab", **FAST)
+            ).write_mbps
+            gaps.append(ajx / fab)
+        assert gaps[1] > gaps[0]
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        spec = WorkloadSpec(outstanding=4, seed=7, **FAST)
+        a = run_throughput(1, 2, 4, spec)
+        b = run_throughput(1, 2, 4, spec)
+        assert a.write_ops == b.write_ops
+        assert a.write_mbps == b.write_mbps
+
+    def test_different_seed_different_schedule(self):
+        a = run_throughput(1, 2, 4, WorkloadSpec(outstanding=4, seed=1, **FAST))
+        b = run_throughput(1, 2, 4, WorkloadSpec(outstanding=4, seed=2, **FAST))
+        # Throughput is similar but op interleavings differ; both valid.
+        assert a.write_ops > 0 and b.write_ops > 0

@@ -1,0 +1,35 @@
+"""CSV export of simulation results."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.sim.experiments import run_throughput
+from repro.sim.export import COLUMNS, result_to_row, write_csv
+from repro.sim.workload import WorkloadSpec
+
+SPEC = WorkloadSpec(outstanding=4, duration=0.1, warmup=0.02, stripes=32)
+
+
+class TestExport:
+    def test_row_schema(self):
+        result = run_throughput(1, 2, 4, SPEC)
+        row = result_to_row(result)
+        assert set(row) == set(COLUMNS)
+        assert row["k"] == 2 and row["n"] == 4
+        assert row["strategy"] == "parallel"
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        results = [run_throughput(c, 2, 4, SPEC) for c in (1, 2)]
+        path = tmp_path / "out" / "results.csv"
+        assert write_csv(results, path) == 2
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["num_clients"] == "1"
+        assert float(rows[1]["write_mbps"]) > float(rows[0]["write_mbps"]) * 0.5
+
+    def test_empty_results(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_csv([], path) == 0
+        assert path.read_text().startswith("protocol,")

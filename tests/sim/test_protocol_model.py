@@ -1,0 +1,123 @@
+"""Protocol phase models: latency structure of single operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.config import WriteStrategy
+from repro.sim import protocol_model as pm
+from repro.sim.calibration import CostModel
+from repro.sim.system import SimSystem
+
+
+def run_one(gen_factory, num_clients=1, k=3, n=5, costs=None):
+    system = SimSystem.build(num_clients, k, n, costs=costs or CostModel())
+    done = {}
+
+    def wrapper():
+        yield from gen_factory(system, system.clients[0])
+        done["at"] = system.sim.now
+
+    system.sim.spawn(wrapper())
+    system.sim.run()
+    return system, done["at"]
+
+
+class TestReadLatency:
+    def test_read_is_one_round_trip(self):
+        costs = CostModel()
+        _, latency = run_one(lambda s, c: pm.ajx_read(s, c, 0, 0))
+        # Two propagation delays plus transmission plus service.
+        assert latency >= 2 * costs.net_latency
+        assert latency < 10 * 2 * costs.net_latency
+
+    def test_read_latency_independent_of_code(self):
+        _, lat_small = run_one(lambda s, c: pm.ajx_read(s, c, 0, 0), k=2, n=4)
+        _, lat_large = run_one(lambda s, c: pm.ajx_read(s, c, 0, 0), k=16, n=20)
+        assert lat_small == pytest.approx(lat_large)
+
+
+class TestWriteLatencyByStrategy:
+    def _write_latency(self, strategy, k=4, n=8):
+        _, latency = run_one(
+            lambda s, c: pm.ajx_write(s, c, 0, 0, strategy=strategy), k=k, n=n
+        )
+        return latency
+
+    def test_parallel_faster_than_serial(self):
+        par = self._write_latency(WriteStrategy.PARALLEL)
+        ser = self._write_latency(WriteStrategy.SERIAL)
+        assert par < ser
+
+    def test_hybrid_between(self):
+        par = self._write_latency(WriteStrategy.PARALLEL)
+        ser = self._write_latency(WriteStrategy.SERIAL)
+        hyb = self._write_latency(WriteStrategy.HYBRID)
+        assert par <= hyb <= ser
+
+    def test_serial_latency_grows_with_p(self):
+        lat_p1 = self._write_latency(WriteStrategy.SERIAL, k=4, n=5)
+        lat_p4 = self._write_latency(WriteStrategy.SERIAL, k=4, n=8)
+        assert lat_p4 > lat_p1 * 2
+
+    def test_parallel_latency_nearly_flat_in_p(self):
+        lat_p1 = self._write_latency(WriteStrategy.PARALLEL, k=4, n=5)
+        lat_p4 = self._write_latency(WriteStrategy.PARALLEL, k=4, n=8)
+        assert lat_p4 < lat_p1 * 2  # adds overlap; only NIC serializes
+
+    def test_computation_small_fraction_of_latency(self):
+        """§6.3: erasure-code computation is a small fraction of write
+        latency (<5% in the paper; we allow <8% since our modeled RPC
+        stack is leaner than 2005 user-mode TCP RPC)."""
+        costs = CostModel()
+        system, latency = run_one(
+            lambda s, c: pm.ajx_write(s, c, 0, 0), k=3, n=5
+        )
+        p = 2
+        compute = costs.delta_cpu * p + costs.add_cpu * p
+        assert compute / latency < 0.08
+
+
+class TestBaselineModels:
+    def test_fab_write_touches_every_storage_nic(self):
+        system, _ = run_one(lambda s, c: pm.fab_write(s, c, 0, 0), k=3, n=5)
+        for node in system.storage:
+            assert node.nic.requests > 0
+
+    def test_ajx_write_touches_only_p_plus_1_nodes(self):
+        system, _ = run_one(lambda s, c: pm.ajx_write(s, c, 0, 0), k=3, n=5)
+        touched = sum(1 for node in system.storage if node.nic.requests > 0)
+        assert touched == 3  # data node + 2 redundant
+
+    def test_gwgr_read_touches_all_nodes(self):
+        system, _ = run_one(lambda s, c: pm.gwgr_read(s, c, 0, 0), k=3, n=5)
+        for node in system.storage:
+            assert node.nic.requests > 0
+
+    def test_ajx_read_touches_one_node(self):
+        system, _ = run_one(lambda s, c: pm.ajx_read(s, c, 0, 1), k=3, n=5)
+        touched = sum(1 for node in system.storage if node.nic.requests > 0)
+        assert touched == 1
+
+
+class TestBandwidthAccounting:
+    def _client_nic_busy(self, gen_factory, **kw):
+        system, _ = run_one(gen_factory, **kw)
+        return system.clients[0].nic.busy_time
+
+    def test_broadcast_write_uses_less_client_bandwidth(self):
+        par = self._client_nic_busy(
+            lambda s, c: pm.ajx_write(s, c, 0, 0, strategy=WriteStrategy.PARALLEL),
+            k=4, n=8,
+        )
+        bcast = self._client_nic_busy(
+            lambda s, c: pm.ajx_write(s, c, 0, 0, strategy=WriteStrategy.BROADCAST),
+            k=4, n=8,
+        )
+        assert bcast < par / 1.5  # 3B vs (p+2)B = 6B
+
+    def test_fab_write_moves_about_2n_blocks(self):
+        costs = CostModel()
+        fab = self._client_nic_busy(lambda s, c: pm.fab_write(s, c, 0, 0), k=3, n=5)
+        ajx = self._client_nic_busy(lambda s, c: pm.ajx_write(s, c, 0, 0), k=3, n=5)
+        assert fab > ajx * 2  # (2n+1)B = 11B vs (p+2)B = 4B

@@ -1,0 +1,66 @@
+"""SimSystem topology and utilization reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.calibration import CostModel
+from repro.sim.engine import Use
+from repro.sim.system import SimSystem
+
+
+class TestBuild:
+    def test_node_counts(self):
+        system = SimSystem.build(3, 2, 5)
+        assert len(system.clients) == 3
+        assert len(system.storage) == 5
+
+    def test_bandwidths_from_costs(self):
+        costs = CostModel(client_bandwidth=1e6, storage_bandwidth=2e6)
+        system = SimSystem.build(1, 2, 4, costs=costs)
+        assert system.clients[0].bandwidth == 1e6
+        assert system.storage[0].bandwidth == 2e6
+
+    def test_tx_time(self):
+        system = SimSystem.build(1, 2, 4, costs=CostModel(client_bandwidth=1e6))
+        assert system.clients[0].tx_time(500) == pytest.approx(5e-4)
+
+
+class TestPlacement:
+    def test_data_node_follows_layout(self):
+        system = SimSystem.build(1, 2, 4)
+        for stripe in range(6):
+            for index in range(2):
+                expected = system.layout.node_of_stripe_index(stripe, index)
+                assert system.data_node(stripe, index) is system.storage[expected]
+
+    def test_redundant_nodes_disjoint_from_data(self):
+        system = SimSystem.build(1, 3, 5)
+        for stripe in range(5):
+            redundant = set(id(n) for n in system.redundant_nodes(stripe))
+            data = {id(system.data_node(stripe, i)) for i in range(3)}
+            assert not redundant & data
+            assert len(redundant) == 2
+
+    def test_rotation_flag(self):
+        spun = SimSystem.build(1, 2, 4, rotate=True)
+        flat = SimSystem.build(1, 2, 4, rotate=False)
+        spun_nodes = {spun.data_node(s, 0).name for s in range(4)}
+        flat_nodes = {flat.data_node(s, 0).name for s in range(4)}
+        assert len(spun_nodes) > 1
+        assert flat_nodes == {"storage-0"}
+
+
+class TestUtilizationReport:
+    def test_report_covers_all_resources(self):
+        system = SimSystem.build(2, 2, 4)
+
+        def burn(resource):
+            yield Use(resource, 0.5)
+
+        system.sim.spawn(burn(system.clients[0].nic))
+        system.sim.run(until=1.0)
+        report = system.utilization_report()
+        assert len(report) == 2 * (2 + 4)  # cpu + nic per node
+        assert report["client-0.nic"] == pytest.approx(0.5)
+        assert report["client-1.nic"] == 0.0

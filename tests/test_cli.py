@@ -1,0 +1,55 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_cost_table(self, capsys):
+        assert main(["cost-table", "--k", "3", "--n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "AJX-par" in out and "GWGR" in out
+
+    def test_resiliency(self, capsys):
+        assert main(["resiliency", "--max-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "0c2s" in out  # the 2-of-4 running example row
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--k", "2", "--n", "4", "--block-size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "stripe consistent: True" in out
+        assert "recoveries: 1" in out
+
+    def test_simulate(self, capsys):
+        assert main([
+            "simulate", "--clients", "1", "--k", "2", "--n", "4",
+            "--outstanding", "4", "--duration", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "write throughput" in out
+
+    def test_simulate_reads_and_strategy(self, capsys):
+        assert main([
+            "simulate", "--clients", "1", "--k", "2", "--n", "4",
+            "--outstanding", "4", "--duration", "0.1",
+            "--reads", "1.0", "--strategy", "broadcast",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "read  throughput" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--repeats", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Delta" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

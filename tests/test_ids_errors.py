@@ -1,0 +1,78 @@
+"""Identifiers and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.ids import BlockAddr, Tid
+
+
+class TestTid:
+    def test_hashable_and_equal(self):
+        a = Tid(1, 0, "c")
+        b = Tid(1, 0, "c")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_distinct_by_any_field(self):
+        base = Tid(1, 0, "c")
+        assert base != Tid(2, 0, "c")
+        assert base != Tid(1, 1, "c")
+        assert base != Tid(1, 0, "d")
+
+    def test_carries_stripe_position(self):
+        """find_consistent attributes tids to data blocks via .index."""
+        assert Tid(5, 3, "w").index == 3
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Tid(1, 0, "c").seq = 9
+
+    def test_repr_compact(self):
+        assert repr(Tid(1, 2, "c")) == "Tid(1,2,c)"
+
+
+class TestBlockAddr:
+    def test_sibling_same_stripe(self):
+        addr = BlockAddr("vol", 7, 1)
+        sib = addr.sibling(4)
+        assert sib == BlockAddr("vol", 7, 4)
+        assert sib.volume == "vol" and sib.stripe == 7
+
+    def test_usable_as_dict_key(self):
+        d = {BlockAddr("v", 0, 0): 1}
+        assert d[BlockAddr("v", 0, 0)] == 1
+
+    def test_repr(self):
+        assert repr(BlockAddr("vol0", 3, 2)) == "vol0/s3/b2"
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            errors.NodeUnavailableError,
+            errors.PartitionedError,
+            errors.UnknownNodeError,
+            errors.UnknownOperationError,
+            errors.RecoveryFailedError,
+            errors.DataLossError,
+            errors.WriteAbortedError,
+            errors.ReadFailedError,
+        ):
+            assert issubclass(exc_type, errors.ReproError)
+
+    def test_data_loss_is_recovery_failure(self):
+        assert issubclass(errors.DataLossError, errors.RecoveryFailedError)
+
+    def test_partition_is_unavailability(self):
+        exc = errors.PartitionedError("a", "b")
+        assert isinstance(exc, errors.NodeUnavailableError)
+        assert exc.node_id == "b"
+        assert exc.src == "a"
+
+    def test_node_unavailable_carries_identity(self):
+        exc = errors.NodeUnavailableError("storage-3", "crashed")
+        assert exc.node_id == "storage-3"
+        assert "storage-3" in str(exc)

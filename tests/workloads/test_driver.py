@@ -1,0 +1,77 @@
+"""Workload driver against the functional cluster."""
+
+from __future__ import annotations
+
+from repro.core.cluster import Cluster
+from repro.workloads.driver import drive, drive_concurrently
+from repro.workloads.patterns import (
+    ReadModifyWritePattern,
+    SequentialPattern,
+    UniformPattern,
+    ZipfPattern,
+)
+
+import pytest
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(k=2, n=4, block_size=64)
+
+
+class TestDrive:
+    def test_counts_and_latencies(self, cluster):
+        vol = cluster.client("c")
+        result = drive(vol, UniformPattern(8, 0.5, seed=1), operations=60)
+        assert result.operations == 60
+        assert result.reads + result.writes == 60
+        assert result.errors == 0
+        assert len(result.read_latencies) == result.reads
+        assert len(result.write_latencies) == result.writes
+        assert result.ops_per_second() > 0
+        assert result.throughput_mbps(64) > 0
+
+    def test_writes_leave_stripes_consistent(self, cluster):
+        vol = cluster.client("c")
+        drive(vol, SequentialPattern(8, 0.0), operations=24)
+        for stripe in range(4):
+            assert cluster.stripe_consistent(stripe)
+
+    def test_rmw_pattern_round_trips(self, cluster):
+        vol = cluster.client("c")
+        result = drive(vol, ReadModifyWritePattern(6, seed=2), operations=30)
+        assert result.reads == 15
+        assert result.writes == 15
+
+    def test_zipf_hotspot_contention(self, cluster):
+        """Skewed traffic hammers a few stripes; consistency must hold."""
+        vol = cluster.client("c")
+        result = drive(vol, ZipfPattern(8, 0.2, seed=3, theta=0.9), 80)
+        assert result.errors == 0
+        for stripe in range(4):
+            assert cluster.stripe_consistent(stripe)
+
+
+class TestDriveConcurrently:
+    def test_multiple_clients(self, cluster):
+        volumes = [cluster.client(f"c{i}") for i in range(3)]
+        patterns = [UniformPattern(8, 0.3, seed=i) for i in range(3)]
+        merged = drive_concurrently(volumes, patterns, operations_each=40)
+        assert merged.operations == 120
+        assert merged.errors == 0
+        for stripe in range(4):
+            assert cluster.stripe_consistent(stripe)
+
+    def test_mismatched_lengths_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            drive_concurrently([cluster.client("c")], [], 1)
+
+    def test_merge_aggregates(self):
+        from repro.workloads.driver import DriveResult
+
+        a = DriveResult(reads=2, writes=3, errors=1, elapsed=1.0,
+                        read_latencies=[0.1], write_latencies=[0.2])
+        b = DriveResult(reads=1, writes=0, errors=0, elapsed=2.0)
+        a.merge(b)
+        assert a.reads == 3 and a.writes == 3 and a.errors == 1
+        assert a.elapsed == 2.0

@@ -1,0 +1,112 @@
+"""Access-pattern generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.patterns import (
+    ReadModifyWritePattern,
+    SequentialPattern,
+    UniformPattern,
+    ZipfPattern,
+    make_pattern,
+)
+
+
+class TestValidation:
+    def test_blocks_positive(self):
+        with pytest.raises(ValueError):
+            UniformPattern(0, 0.5)
+
+    def test_read_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            UniformPattern(10, 1.5)
+
+    def test_zipf_theta_bounds(self):
+        with pytest.raises(ValueError):
+            ZipfPattern(10, 0.5, theta=1.0)
+
+    def test_factory(self):
+        assert isinstance(make_pattern("uniform", 10), UniformPattern)
+        assert isinstance(make_pattern("sequential", 10), SequentialPattern)
+        assert isinstance(make_pattern("zipf", 10, theta=0.5), ZipfPattern)
+        assert isinstance(make_pattern("rmw", 10), ReadModifyWritePattern)
+        with pytest.raises(ValueError):
+            make_pattern("fractal", 10)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["uniform", "sequential", "rmw"])
+    def test_same_seed_same_stream(self, name):
+        a = make_pattern(name, 50, 0.3, seed=7)
+        b = make_pattern(name, 50, 0.3, seed=7)
+        assert a.take(40) == b.take(40)
+
+    def test_different_seed_differs(self):
+        a = UniformPattern(1000, 0.0, seed=1).take(20)
+        b = UniformPattern(1000, 0.0, seed=2).take(20)
+        assert a != b
+
+
+class TestUniform:
+    @given(st.integers(1, 200), st.integers(0, 2**31 - 1))
+    def test_blocks_in_range(self, blocks, seed):
+        pattern = UniformPattern(blocks, 0.5, seed=seed)
+        for access in pattern.take(50):
+            assert 0 <= access.block < blocks
+
+    def test_read_fraction_respected(self):
+        pattern = UniformPattern(10, 0.7, seed=3)
+        accesses = pattern.take(5000)
+        reads = sum(1 for a in accesses if a.is_read)
+        assert 0.65 < reads / 5000 < 0.75
+
+    def test_coverage(self):
+        pattern = UniformPattern(8, 0.0, seed=1)
+        seen = {a.block for a in pattern.take(500)}
+        assert seen == set(range(8))
+
+
+class TestSequential:
+    def test_wraps_around(self):
+        pattern = SequentialPattern(4, 0.0, start=2)
+        assert [a.block for a in pattern.take(6)] == [2, 3, 0, 1, 2, 3]
+
+    def test_pure_writes_by_default(self):
+        pattern = SequentialPattern(4, 0.0)
+        assert all(not a.is_read for a in pattern.take(10))
+
+
+class TestZipf:
+    def test_skew_concentrates_accesses(self):
+        pattern = ZipfPattern(100, 0.0, seed=5, theta=0.9)
+        counts = Counter(a.block for a in pattern.take(5000))
+        hot = pattern.hot_set(10)
+        hot_hits = sum(counts[b] for b in hot)
+        assert hot_hits > 0.4 * 5000  # top 10% gets >40% of traffic
+
+    def test_higher_theta_more_skew(self):
+        def hot_share(theta):
+            pattern = ZipfPattern(100, 0.0, seed=5, theta=theta)
+            counts = Counter(a.block for a in pattern.take(4000))
+            return sum(counts[b] for b in pattern.hot_set(5))
+
+        assert hot_share(0.95) > hot_share(0.3)
+
+    def test_all_blocks_reachable(self):
+        pattern = ZipfPattern(5, 0.0, seed=2, theta=0.5)
+        seen = {a.block for a in pattern.take(2000)}
+        assert seen == set(range(5))
+
+
+class TestReadModifyWrite:
+    def test_alternates_read_then_write_same_block(self):
+        pattern = ReadModifyWritePattern(20, seed=4)
+        accesses = pattern.take(40)
+        for read, write in zip(accesses[::2], accesses[1::2]):
+            assert read.is_read and not write.is_read
+            assert read.block == write.block
