@@ -1,0 +1,5 @@
+"""Chaos engineering harnesses: seeded soak testing under injected faults."""
+
+from repro.chaos.soak import SoakConfig, SoakReport, run_soak
+
+__all__ = ["SoakConfig", "SoakReport", "run_soak"]

@@ -7,6 +7,9 @@ Commands
 ``resiliency``  Section 4 tables: failures tolerated vs redundancy
 ``simulate``    one closed-loop throughput experiment on the simulator
 ``calibrate``   measure this machine's erasure-code kernel costs
+``chaos-soak``  seeded fault-injection soak: workload under drops,
+                delays, duplication and a gray node, then consistency
+                + parity audit (failures reproduce from the seed)
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ import sys
 
 from repro.analysis.resiliency import resiliency_profile
 from repro.baselines.costs import format_cost_table
+from repro.chaos.soak import SoakConfig, run_soak
 from repro.client.config import WriteStrategy
 from repro.core.cluster import Cluster
 from repro.sim.calibration import measure_costs
@@ -91,6 +95,32 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos_soak(args: argparse.Namespace) -> int:
+    if args.ops is not None:
+        ops = args.ops
+    else:
+        ops = 40 if args.smoke else 200
+    config = SoakConfig(
+        seed=args.seed,
+        ops=ops,
+        clients=args.clients,
+        k=args.k,
+        n=args.n,
+        block_size=args.block_size,
+        blocks=args.blocks,
+        read_fraction=args.reads,
+        rpc_timeout=args.rpc_timeout,
+        drop=args.drop,
+        dup=args.dup,
+        gray_stall=args.gray_stall,
+    )
+    report = run_soak(config)
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  VIOLATION: {violation}")
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -133,6 +163,26 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--sequential", action="store_true")
     simulate.add_argument("--seed", type=int, default=1)
     simulate.set_defaults(func=cmd_simulate)
+
+    soak = sub.add_parser(
+        "chaos-soak", help="seeded fault-injection soak + consistency audit"
+    )
+    soak.add_argument("--seed", type=int, default=7)
+    soak.add_argument("--ops", type=int, default=None,
+                      help="workload length (default 200; 40 with --smoke)")
+    soak.add_argument("--smoke", action="store_true",
+                      help="short CI-sized run")
+    soak.add_argument("--clients", type=int, default=2)
+    soak.add_argument("--k", type=int, default=2)
+    soak.add_argument("--n", type=int, default=4)
+    soak.add_argument("--block-size", type=int, default=64)
+    soak.add_argument("--blocks", type=int, default=12)
+    soak.add_argument("--reads", type=float, default=0.4)
+    soak.add_argument("--rpc-timeout", type=float, default=0.05)
+    soak.add_argument("--drop", type=float, default=0.04)
+    soak.add_argument("--dup", type=float, default=0.06)
+    soak.add_argument("--gray-stall", type=float, default=5.0)
+    soak.set_defaults(func=cmd_chaos_soak)
 
     calibrate = sub.add_parser("calibrate", help="measure kernel costs")
     calibrate.add_argument("--block-size", type=int, default=1024)

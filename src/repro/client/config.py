@@ -54,6 +54,21 @@ class ClientConfig:
     #: declaring the stripe unrecoverable.
     recovery_wait_limit: int = 200
 
+    #: Per-RPC deadline, seconds (None = wait forever, the paper's
+    #: fail-stop model where only crashes fail calls).  With a deadline,
+    #: a slow or silent node surfaces as RpcTimeoutError instead of a
+    #: hang, and is treated as *suspected* failed.
+    rpc_timeout: float | None = None
+    #: Whole-operation deadline budget for one read()/write() call,
+    #: seconds (None = bounded only by the attempt counters).  When the
+    #: budget runs out mid-retry the op raises ReadFailedError /
+    #: WriteAbortedError rather than spinning on a sick stripe.
+    op_deadline: float | None = None
+    #: Consecutive RPC timeouts from one node before the client stops
+    #: suspecting and starts *believing*: the node is remapped and
+    #: recovery runs, exactly as for a detected fail-stop crash.
+    suspicion_threshold: int = 3
+
     #: Extension beyond the paper: when a read hits an out-of-service
     #: block, first try to *decode* the value from the surviving blocks
     #: (read-only, no locks, no repair) before falling back to full

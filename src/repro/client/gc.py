@@ -21,7 +21,7 @@ from __future__ import annotations
 import threading
 
 from repro.client.protocol import ProtocolClient
-from repro.errors import NodeUnavailableError
+from repro.errors import NodeUnavailableError, RpcTimeoutError
 from repro.ids import Tid
 from repro.net.rpc import pfor
 
@@ -99,6 +99,11 @@ class GcManager:
                     result = self.client._call(
                         stripe, j, op, addr, sorted(batches[j], key=str)
                     )
+                except RpcTimeoutError:
+                    # Slow, not provably gone: the node's lists survive,
+                    # so the batch must roll over and retry next round
+                    # (dropping it here would strand tids forever).
+                    return False
                 except NodeUnavailableError:
                     return False  # node gone; recovery will reset lists anyway
                 if result == "OK":

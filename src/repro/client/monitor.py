@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.client.protocol import ProtocolClient
-from repro.errors import NodeUnavailableError
+from repro.errors import NodeUnavailableError, RpcTimeoutError
 from repro.storage.state import LockMode, OpMode
 
 
@@ -35,6 +35,7 @@ class MonitorReport:
     init_blocks: int = 0
     expired_locks: int = 0
     unreachable: int = 0
+    timeouts: int = 0  # probes that hit their RPC deadline (gray node?)
     recovered_stripes: list[int] = field(default_factory=list)
 
 
@@ -61,6 +62,14 @@ class Monitor:
             report.probed += 1
             try:
                 opmode, lmode, age = self.client._call(stripe, j, "probe", addr)
+            except RpcTimeoutError:
+                # Suspected only: the node may be gray.  Recovery is
+                # still warranted — the stripe is effectively degraded
+                # while the node is silent — but _call only remaps it
+                # once suspicion crosses the configured threshold.
+                report.timeouts += 1
+                needs = True
+                continue
             except NodeUnavailableError:
                 # _call already remapped the slot; the fresh node is INIT.
                 report.unreachable += 1

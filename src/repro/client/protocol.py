@@ -32,11 +32,12 @@ from repro.errors import (
     DataLossError,
     NodeUnavailableError,
     ReadFailedError,
+    RpcTimeoutError,
     WriteAbortedError,
 )
 from repro.gf import field as gf
 from repro.ids import BlockAddr, Tid
-from repro.net.rpc import NodeProxy, pfor
+from repro.net.rpc import Deadline, NodeProxy, pfor
 from repro.net.transport import Transport
 from repro.tracing import NULL_TRACER
 from repro.storage.node import BROADCAST_INDEX, VolumeMeta
@@ -63,6 +64,8 @@ class ClientStats:
     recoveries_yielded: int = 0  # lost the lock race to another recoverer
     order_retries: int = 0
     remaps: int = 0
+    rpc_timeouts: int = 0  # RPCs that hit their deadline (gray/lossy net)
+    suspicion_remaps: int = 0  # remaps triggered by repeated timeouts
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def bump(self, name: str, amount: int = 1) -> None:
@@ -95,6 +98,10 @@ class ProtocolClient:
         self._seq_lock = threading.Lock()
         self._recovering: set[int] = set()
         self._recovering_lock = threading.Lock()
+        # Consecutive RPC timeouts per node id; at suspicion_threshold
+        # the node graduates from suspected to believed-failed.
+        self._suspicion: dict[str, int] = {}
+        self._suspicion_lock = threading.Lock()
         # ntids of completed writes, awaiting garbage collection
         # (Fig. 5 line 21 / Fig. 7); consumed by GcManager.
         self.gc_pending: dict[int, dict[int, set[Tid]]] = {}
@@ -130,7 +137,10 @@ class ProtocolClient:
 
     def _proxy(self, stripe: int, index: int) -> NodeProxy:
         node_id = self.directory.node_id(self._slot(stripe, index))
-        return NodeProxy(self.transport, self.client_id, node_id)
+        return NodeProxy(
+            self.transport, self.client_id, node_id,
+            timeout=self.config.rpc_timeout,
+        )
 
     def _remap(self, stripe: int, index: int, failed: str) -> None:
         """Point the failed node's slot at a fresh replacement (§3.5)."""
@@ -139,16 +149,46 @@ class ProtocolClient:
                          failed=failed)
         self.directory.remap(self._slot(stripe, index), failed)
 
+    def _suspect(self, node_id: str) -> bool:
+        """Count a timeout against ``node_id``; True once the node has
+        accumulated enough consecutive timeouts to be declared failed."""
+        self.stats.bump("rpc_timeouts")
+        with self._suspicion_lock:
+            count = self._suspicion.get(node_id, 0) + 1
+            if count >= self.config.suspicion_threshold:
+                self._suspicion.pop(node_id, None)
+                return True
+            self._suspicion[node_id] = count
+            return False
+
+    def _absolve(self, node_id: str) -> None:
+        """A successful RPC clears accumulated suspicion."""
+        if self._suspicion:
+            with self._suspicion_lock:
+                self._suspicion.pop(node_id, None)
+
     def _call(self, stripe: int, index: int, op: str, *args, **kwargs):
         """RPC to the node serving stripe position ``index``; on fail-stop
-        detection, remap and re-raise so the caller enters recovery."""
+        detection, remap and re-raise so the caller enters recovery.
+
+        A timeout is weaker evidence than a detected crash — the target
+        may be gray, not dead — so remap waits for the suspicion
+        threshold; the exception still propagates so the caller retries
+        or goes degraded either way."""
         proxy = self._proxy(stripe, index)
         try:
-            return proxy.call(op, *args, **kwargs)
+            result = proxy.call(op, *args, **kwargs)
+        except RpcTimeoutError as exc:
+            if exc.node_id == proxy.dst and self._suspect(proxy.dst):
+                self.stats.bump("suspicion_remaps")
+                self._remap(stripe, index, proxy.dst)
+            raise
         except NodeUnavailableError as exc:
             if exc.node_id == proxy.dst:
                 self._remap(stripe, index, proxy.dst)
             raise
+        self._absolve(proxy.dst)
+        return result
 
     # ------------------------------------------------------------------
     # READ — Fig. 4
@@ -160,7 +200,13 @@ class ProtocolClient:
             raise IndexError(f"data index {index} out of range for k={self.k}")
         addr = self._addr(stripe, index)
         self.stats.bump("reads")
+        deadline = Deadline.after(self.config.op_deadline)
         for attempt in range(self.config.max_op_attempts):
+            if deadline.expired():
+                raise ReadFailedError(
+                    f"read of {addr} exceeded its "
+                    f"{self.config.op_deadline:g}s deadline budget"
+                )
             try:
                 result = self._call(stripe, index, "read", addr)
             except NodeUnavailableError:
@@ -239,7 +285,13 @@ class ProtocolClient:
         self.stats.bump("writes")
         redundant = tuple(range(self.k, self.n))
         full = frozenset((index,) + redundant)
+        deadline = Deadline.after(self.config.op_deadline)
         for _ in range(self.config.max_write_attempts):
+            if deadline.expired():
+                raise WriteAbortedError(
+                    f"write to stripe {stripe} block {index} exceeded its "
+                    f"{self.config.op_deadline:g}s deadline budget"
+                )
             self.stats.bump("write_attempts")
             ntid = self._next_tid(index)
             swap = self._swap_until_valid(stripe, index, value, ntid)

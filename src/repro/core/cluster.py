@@ -20,6 +20,7 @@ from repro.directory import Directory
 from repro.erasure.rs import ReedSolomonCode
 from repro.erasure.striping import StripeLayout
 from repro.ids import BlockAddr
+from repro.net.chaos import ChaosTransport, FaultPlan
 from repro.net.local import DelayModel, LocalTransport
 from repro.net.transport import Transport
 from repro.storage.node import StorageNode, VolumeMeta
@@ -44,6 +45,7 @@ class Cluster:
         construction: str = "vandermonde",
         seed: int = 0,
         store_factory=None,
+        chaos_plan: FaultPlan | None = None,
     ):
         self.code = ReedSolomonCode(k, n, construction)
         self.layout = StripeLayout(k, n, rotate=rotate)
@@ -53,6 +55,12 @@ class Cluster:
         )
         self._volumes: dict[str, VolumeMeta] = {volume_name: self.meta}
         self.transport = transport or LocalTransport(delay=delay)
+        #: The ChaosTransport wrapper when a fault plan is active (its
+        #: ledger is how soak runs audit what was injected); else None.
+        self.chaos: ChaosTransport | None = None
+        if chaos_plan is not None:
+            self.chaos = ChaosTransport(self.transport, chaos_plan)
+            self.transport = self.chaos
         self.instrument = instrument
         self._seed = seed
         # Optional persistence backend per node, e.g.

@@ -29,6 +29,28 @@ class PartitionedError(NodeUnavailableError):
         self.src = src
 
 
+class RpcTimeoutError(NodeUnavailableError):
+    """An RPC got no response within its deadline.
+
+    Unlike a plain :class:`NodeUnavailableError` this is *not*
+    authoritative evidence of failure: the target may be gray (slow but
+    alive) and the request may even have been delivered and applied.
+    Callers treat the node as *suspected* — retry, go degraded, and only
+    remap/recover after repeated timeouts (``ClientConfig.suspicion_threshold``).
+    Subclasses :class:`NodeUnavailableError` so every existing
+    unavailability path also survives a timeout.
+    """
+
+    def __init__(self, node_id: str, op: str | None = None,
+                 deadline: float | None = None):
+        detail = f"no response to {op!r}" if op else "no response"
+        if deadline is not None:
+            detail += f" within {deadline:g}s"
+        super().__init__(node_id, reason=detail)
+        self.op = op
+        self.deadline = deadline
+
+
 class UnknownNodeError(ReproError):
     """RPC addressed to a node id the transport has never seen."""
 

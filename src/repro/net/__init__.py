@@ -1,15 +1,28 @@
 """Networking substrate: RPC transport, fault injection, traffic stats."""
 
+from repro.net.chaos import (
+    ChaosTransport,
+    FaultDecision,
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+)
 from repro.net.failure import FailureDetector, LeaseClock
 from repro.net.local import DelayModel, LocalTransport
 from repro.net.message import TrafficStats, diff_snapshots, estimate_size
-from repro.net.rpc import NodeProxy, pfor
+from repro.net.rpc import Deadline, NodeProxy, pfor
 from repro.net.tcp import TcpTransport
 from repro.net.transport import RpcHandler, Transport
 
 __all__ = [
+    "ChaosTransport",
+    "Deadline",
     "DelayModel",
     "FailureDetector",
+    "FaultDecision",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRule",
     "LeaseClock",
     "LocalTransport",
     "NodeProxy",

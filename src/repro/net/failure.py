@@ -47,12 +47,27 @@ class LeaseClock:
     """
 
     def __init__(self, scale: float = 1.0):
-        self.scale = scale
+        self._scale = scale
         self._lock = threading.Lock()
 
+    @property
+    def scale(self) -> float:
+        with self._lock:
+            return self._scale
+
+    @scale.setter
+    def scale(self, value: float) -> None:
+        self.set_scale(value)
+
+    def set_scale(self, scale: float) -> None:
+        """Change the clock speed; safe to call while readers run."""
+        with self._lock:
+            self._scale = scale
+
     def now(self) -> float:
-        return time.monotonic() * self.scale
+        with self._lock:
+            return time.monotonic() * self._scale
 
     def elapsed_since(self, then: float) -> float:
-        with self._lock:
-            return self.now() - then
+        # now() takes the lock; taking it again here would deadlock.
+        return self.now() - then

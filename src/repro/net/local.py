@@ -15,6 +15,7 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.errors import RpcTimeoutError
 from repro.net.message import estimate_size
 from repro.net.transport import RpcHandler, Transport
 
@@ -61,12 +62,29 @@ class LocalTransport(Transport):
         if seconds > 0:
             time.sleep(seconds)
 
-    def call(self, src: str, dst: str, op: str, *args: object, **kwargs: object) -> object:
+    def call(
+        self,
+        src: str,
+        dst: str,
+        op: str,
+        *args: object,
+        timeout: float | None = None,
+        **kwargs: object,
+    ) -> object:
         self._check_reachable(src, dst)
         handler = self._handler_for(dst)
         request_size = estimate_size(args) + estimate_size(kwargs)
         self.stats.record_request(op, request_size)
-        self._sleep(self.delay.one_way(request_size))
+        # Deadline enforcement covers the modeled network (the sleeps);
+        # handler execution is local CPU and not interruptible here.
+        budget = timeout
+        delay = self.delay.one_way(request_size)
+        if budget is not None and delay > budget:
+            self._sleep(budget)
+            raise RpcTimeoutError(dst, op, timeout)
+        if budget is not None:
+            budget -= delay
+        self._sleep(delay)
         # The destination may have crashed while the request was in
         # flight; re-check so a message is never served by a dead node.
         self._check_reachable(src, dst)
@@ -74,12 +92,22 @@ class LocalTransport(Transport):
             result = handler.handle(op, *args, **kwargs)
         response_size = estimate_size(result)
         self.stats.record_response(op, response_size)
-        self._sleep(self.delay.one_way(response_size))
+        delay = self.delay.one_way(response_size)
+        if budget is not None and delay > budget:
+            self._sleep(budget)
+            raise RpcTimeoutError(dst, op, timeout)
+        self._sleep(delay)
         self._check_reachable(src, dst)
         return result
 
     def broadcast(
-        self, src: str, dsts: list[str], op: str, *args: object, **kwargs: object
+        self,
+        src: str,
+        dsts: list[str],
+        op: str,
+        *args: object,
+        timeout: float | None = None,
+        **kwargs: object,
     ) -> dict[str, object]:
         """True broadcast: the request payload leaves the client once.
 

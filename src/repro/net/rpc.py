@@ -10,14 +10,47 @@ decides what a failure means).
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Callable, Iterable
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import TypeVar
 
+from repro.errors import RpcTimeoutError
 from repro.net.transport import Transport
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class Deadline:
+    """A countdown budget for one logical operation.
+
+    Protocol loops (READ/WRITE attempts) consult a deadline so an
+    operation's total latency is bounded even when individual RPCs keep
+    timing out and retrying.  ``Deadline.after(None)`` never expires,
+    preserving the original unbounded-retry behaviour.
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float | None):
+        self.expires_at = expires_at
+
+    @classmethod
+    def after(cls, seconds: float | None) -> "Deadline":
+        if seconds is None:
+            return cls(None)
+        return cls(time.monotonic() + seconds)
+
+    def expired(self) -> bool:
+        return self.expires_at is not None and time.monotonic() >= self.expires_at
+
+    def remaining(self) -> float | None:
+        """Seconds left (never negative), or None for an infinite budget."""
+        if self.expires_at is None:
+            return None
+        return max(0.0, self.expires_at - time.monotonic())
 
 # A process-wide pool is enough: protocol fan-out is small (n <= 32) and
 # pfor bodies are short RPCs.  Sized generously so nested pfors from
@@ -37,28 +70,42 @@ def _pool_instance() -> ThreadPoolExecutor:
         return _pool
 
 
-def pfor(items: Iterable[T], body: Callable[[T], R]) -> dict[T, R | Exception]:
+def pfor(
+    items: Iterable[T],
+    body: Callable[[T], R],
+    *,
+    timeout: float | None = None,
+) -> dict[T, R | Exception]:
     """Run ``body`` over ``items`` in parallel; gather results by item.
 
     Exceptions raised by a body are returned in place of results, never
     raised: the caller inspects them (matching how the protocol treats
     per-node RPC failures as data).
+
+    ``timeout`` bounds the whole batch: items whose body has not
+    finished when it elapses yield an :class:`RpcTimeoutError` entry
+    instead of blocking the gather.  (The straggler body keeps running
+    on its pool thread — like a late network reply, its eventual result
+    is discarded.)
     """
     items = list(items)
     if not items:
         return {}
-    if len(items) == 1:
+    if len(items) == 1 and timeout is None:
         item = items[0]
         try:
             return {item: body(item)}
         except Exception as exc:
             return {item: exc}
     pool = _pool_instance()
+    deadline = Deadline.after(timeout)
     futures = {item: pool.submit(body, item) for item in items}
     results: dict[T, R | Exception] = {}
     for item, future in futures.items():
         try:
-            results[item] = future.result()
+            results[item] = future.result(timeout=deadline.remaining())
+        except FutureTimeoutError:
+            results[item] = RpcTimeoutError(str(item), deadline=timeout)
         except Exception as exc:
             results[item] = exc
     return results
@@ -68,15 +115,25 @@ class NodeProxy:
     """Convenience wrapper: ``proxy.swap(...)`` -> ``transport.call(...)``.
 
     Binds a (caller id, target id) pair so protocol code reads like the
-    paper's ``S_j.add(...)`` notation.
+    paper's ``S_j.add(...)`` notation.  An optional default ``timeout``
+    applies to every call made through the proxy; a per-call
+    ``timeout=`` kwarg overrides it.
     """
 
-    def __init__(self, transport: Transport, src: str, dst: str):
+    def __init__(
+        self,
+        transport: Transport,
+        src: str,
+        dst: str,
+        timeout: float | None = None,
+    ):
         self._transport = transport
         self.src = src
         self.dst = dst
+        self.timeout = timeout
 
     def call(self, op: str, *args: object, **kwargs: object) -> object:
+        kwargs.setdefault("timeout", self.timeout)
         return self._transport.call(self.src, self.dst, op, *args, **kwargs)
 
     def __getattr__(self, op: str) -> Callable[..., object]:

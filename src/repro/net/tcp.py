@@ -23,7 +23,7 @@ import socket
 import struct
 import threading
 
-from repro.errors import NodeUnavailableError, UnknownNodeError
+from repro.errors import NodeUnavailableError, RpcTimeoutError, UnknownNodeError
 from repro.net.message import estimate_size
 from repro.net.transport import RpcHandler, Transport
 
@@ -124,8 +124,9 @@ class _NodeServer:
 class TcpTransport(Transport):
     """RPC over loopback TCP sockets."""
 
-    def __init__(self) -> None:
+    def __init__(self, connect_timeout: float = 10.0) -> None:
         super().__init__()
+        self.connect_timeout = connect_timeout
         self._servers: dict[str, _NodeServer] = {}
         self._conns: dict[tuple[str, str], socket.socket] = {}
         self._conn_locks: dict[tuple[str, str], threading.Lock] = {}
@@ -163,9 +164,12 @@ class TcpTransport(Transport):
         if server is None:
             raise UnknownNodeError(dst)
         try:
-            conn = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+            conn = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=self.connect_timeout
+            )
         except OSError as exc:
             raise NodeUnavailableError(dst, f"connect failed: {exc}") from exc
+        conn.settimeout(None)
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         with self._lock:
             existing = self._conns.get(key)
@@ -175,15 +179,36 @@ class TcpTransport(Transport):
             self._conns[key] = conn
         return conn, lock
 
-    def call(self, src: str, dst: str, op: str, *args: object, **kwargs: object) -> object:
+    def call(
+        self,
+        src: str,
+        dst: str,
+        op: str,
+        *args: object,
+        timeout: float | None = None,
+        **kwargs: object,
+    ) -> object:
         self._check_reachable(src, dst)
         request = pickle.dumps((op, args, kwargs))
         self.stats.record_request(op, estimate_size(args) + estimate_size(kwargs))
         conn, lock = self._connection(src, dst)
         try:
             with lock:
-                _send_frame(conn, request)
-                payload = _recv_frame(conn)
+                conn.settimeout(timeout)
+                try:
+                    _send_frame(conn, request)
+                    payload = _recv_frame(conn)
+                finally:
+                    conn.settimeout(None)
+        except socket.timeout as exc:
+            # The stream position is now unknown (a late reply would
+            # desync framing); drop the connection and report a timeout,
+            # which is suspicion — not proof — of failure.
+            with self._lock:
+                stale = self._conns.pop((src, dst), None)
+            if stale is not None:
+                stale.close()
+            raise RpcTimeoutError(dst, op, timeout) from exc
         except (ConnectionError, OSError) as exc:
             with self._lock:
                 stale = self._conns.pop((src, dst), None)

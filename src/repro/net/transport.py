@@ -92,10 +92,27 @@ class Transport(ABC):
                     if a != b:
                         self._blocked_pairs.add(frozenset((a, b)))
 
-    def heal(self) -> None:
-        """Remove all partitions."""
+    def heal(
+        self,
+        side_a: Iterable[str] | None = None,
+        side_b: Iterable[str] | None = None,
+    ) -> None:
+        """Reconnect nodes.
+
+        With no arguments every partition is removed (the historical
+        behaviour).  With two sides only the pairs across them are
+        reconnected, so tests can lift one switch failure while another
+        stays in force.
+        """
+        if (side_a is None) != (side_b is None):
+            raise ValueError("heal() takes either no sides or both sides")
         with self._lock:
-            self._blocked_pairs.clear()
+            if side_a is None:
+                self._blocked_pairs.clear()
+                return
+            for a in side_a:
+                for b in side_b:
+                    self._blocked_pairs.discard(frozenset((a, b)))
 
     def _check_reachable(self, src: str, dst: str) -> None:
         with self._lock:
@@ -118,11 +135,33 @@ class Transport(ABC):
     # -- messaging ------------------------------------------------------------
 
     @abstractmethod
-    def call(self, src: str, dst: str, op: str, *args: object, **kwargs: object) -> object:
-        """Synchronous RPC from ``src`` to ``dst``."""
+    def call(
+        self,
+        src: str,
+        dst: str,
+        op: str,
+        *args: object,
+        timeout: float | None = None,
+        **kwargs: object,
+    ) -> object:
+        """Synchronous RPC from ``src`` to ``dst``.
+
+        ``timeout`` is a deadline in seconds for the whole round trip;
+        when it elapses the call raises
+        :class:`~repro.errors.RpcTimeoutError` instead of blocking
+        (keyword-only, consumed by the transport — never forwarded to
+        the remote handler).  ``None`` waits indefinitely, preserving
+        the original fail-stop model where only crashes fail calls.
+        """
 
     def broadcast(
-        self, src: str, dsts: list[str], op: str, *args: object, **kwargs: object
+        self,
+        src: str,
+        dsts: list[str],
+        op: str,
+        *args: object,
+        timeout: float | None = None,
+        **kwargs: object,
     ) -> dict[str, object]:
         """One logical send delivered to many nodes (Section 3.11).
 
@@ -136,7 +175,7 @@ class Transport(ABC):
         results: dict[str, object] = {}
         for dst in dsts:
             try:
-                results[dst] = self.call(src, dst, op, *args, **kwargs)
+                results[dst] = self.call(src, dst, op, *args, timeout=timeout, **kwargs)
             except NodeUnavailableError as exc:
                 results[dst] = exc
         return results

@@ -227,6 +227,15 @@ class StorageNode(RpcHandler):
             return SwapResult(
                 block=None, epoch=state.epoch, otid=None, lmode=state.lmode
             )
+        if ntid in tids(state.recentlist | state.oldlist):
+            # Duplicated delivery (a retrying network replayed the
+            # request).  Re-applying would insert a second recentlist
+            # entry for the same tid and clobber the block; reject with
+            # a locked-looking result the (already-answered) caller
+            # would merely retry if it ever saw it.
+            return SwapResult(
+                block=None, epoch=state.epoch, otid=None, lmode=state.lmode
+            )
         retblk = state.block
         state.block = np.array(v, dtype=np.uint8, copy=True)
         latest = state.latest_recent()
@@ -258,6 +267,14 @@ class StorageNode(RpcHandler):
         if otid is not None and otid not in tids(state.recentlist | state.oldlist):
             return AddResult(
                 status=AddStatus.ORDER, opmode=state.opmode, lmode=state.lmode
+            )
+        if ntid in tids(state.recentlist | state.oldlist):
+            # Duplicated delivery: this add was already applied.  GF
+            # addition is not idempotent (applying the diff twice
+            # corrupts the block), so acknowledge OK without touching
+            # the state — idempotent from the network's point of view.
+            return AddResult(
+                status=AddStatus.OK, opmode=state.opmode, lmode=state.lmode
             )
         if coeff is None:
             field.iadd_block(state.block, np.asarray(v, dtype=np.uint8))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 from repro.net.failure import FailureDetector, LeaseClock
 from repro.net.local import LocalTransport
 
@@ -41,3 +43,38 @@ class TestLeaseClock:
         clock = LeaseClock()
         then = clock.now()
         assert clock.elapsed_since(then) >= 0
+
+    def test_set_scale(self):
+        clock = LeaseClock(scale=1.0)
+        clock.set_scale(1000.0)
+        assert clock.scale == 1000.0
+        assert clock.now() > 0
+
+    def test_scale_attribute_assignment_still_works(self):
+        clock = LeaseClock()
+        clock.scale = 500.0  # the idiom existing tests use
+        assert clock.scale == 500.0
+
+    def test_concurrent_scale_changes_and_reads(self):
+        """now() and set_scale() race without torn reads or deadlock."""
+        clock = LeaseClock()
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    assert clock.now() >= 0.0
+                    clock.elapsed_since(0.0)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for i in range(200):
+            clock.set_scale(float(i % 7) + 1.0)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert errors == []

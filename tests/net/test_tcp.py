@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.core.cluster import Cluster
-from repro.errors import NodeUnavailableError, UnknownNodeError
+from repro.errors import NodeUnavailableError, RpcTimeoutError, UnknownNodeError
 from repro.net.tcp import TcpTransport
 from repro.net.transport import RpcHandler
 
@@ -17,6 +18,8 @@ class Echo(RpcHandler):
     def handle(self, op, *args, **kwargs):
         if op == "boom":
             raise ValueError("server-side failure")
+        if op == "stall":
+            time.sleep(args[0])
         return (op, args, kwargs)
 
 
@@ -90,6 +93,37 @@ class TestTcpRpc:
         tcp.call("client", "server", "ping", b"x" * 64)
         assert tcp.stats.messages["ping"] == 2
         assert tcp.stats.request_bytes["ping"] == 64
+
+    def test_connect_timeout_is_configurable(self):
+        transport = TcpTransport(connect_timeout=0.25)
+        try:
+            assert transport.connect_timeout == 0.25
+            transport.register("server", Echo())
+            transport.register("client")
+            assert transport.call("client", "server", "ping") == ("ping", (), {})
+        finally:
+            transport.close()
+
+    def test_call_deadline_raises_timeout(self, tcp):
+        """A gray (slow but alive) server no longer hangs the caller:
+        the socket deadline surfaces as RpcTimeoutError."""
+        tcp.register("server", Echo())
+        tcp.register("client")
+        start = time.perf_counter()
+        with pytest.raises(RpcTimeoutError):
+            tcp.call("client", "server", "stall", 5.0, timeout=0.1)
+        assert time.perf_counter() - start < 2.0
+        # The connection was torn down; a fresh call still works.
+        assert tcp.call("client", "server", "ping") == ("ping", (), {})
+
+    def test_call_within_deadline_succeeds(self, tcp):
+        tcp.register("server", Echo())
+        tcp.register("client")
+        assert tcp.call("client", "server", "stall", 0.01, timeout=5.0) == (
+            "stall",
+            (0.01,),
+            {},
+        )
 
     def test_broadcast_falls_back_to_unicast_loop(self, tcp):
         """TCP has no multicast; the base-class loop must still deliver

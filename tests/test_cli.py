@@ -41,6 +41,13 @@ class TestCli:
         out = capsys.readouterr().out
         assert "read  throughput" in out
 
+    def test_chaos_soak_smoke(self, capsys):
+        assert main(["chaos-soak", "--seed", "7", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "injected faults" in out
+        assert "--seed 7" in out
+
     def test_calibrate(self, capsys):
         assert main(["calibrate", "--repeats", "10"]) == 0
         out = capsys.readouterr().out
