@@ -123,11 +123,23 @@ class HistoryRecorder:
         with self._lock:
             self._ops.append(Op(kind, key, value, start, end))
 
-    def operation(self, kind: str, key: object, value: object = None):
+    def operation(self, kind: str, key: object, value: object = None,
+                  incomplete_on_error: bool = False):
         """Context manager timing one operation.
 
         For reads, set the observed value afterwards via the returned
-        handle's ``value`` attribute before the block exits."""
+        handle's ``value`` attribute before the block exits.
+
+        ``incomplete_on_error``: when the block raises, record the op
+        anyway with ``end = inf``.  An aborted write may still have been
+        partially applied (its swap landed, some adds did not) and a
+        later recovery may roll it *forward* — modelling it as forever
+        in-flight makes its value admissible to concurrent-and-later
+        reads without ever superseding older values, which is exactly
+        the regular-register obligation for a maybe-applied write.
+        """
+        import math
+
         recorder = self
 
         class _Ctx:
@@ -142,6 +154,10 @@ class HistoryRecorder:
                 if exc_type is None:
                     recorder.record(
                         kind, key, self.value, self._start, recorder._clock()
+                    )
+                elif incomplete_on_error:
+                    recorder.record(
+                        kind, key, self.value, self._start, math.inf
                     )
                 return False
 

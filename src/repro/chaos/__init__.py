@@ -1,5 +1,19 @@
 """Chaos engineering harnesses: seeded soak testing under injected faults."""
 
+from repro.chaos.restart_soak import (
+    PolicyOutcome,
+    RestartSoakConfig,
+    RestartSoakReport,
+    run_restart_soak,
+)
 from repro.chaos.soak import SoakConfig, SoakReport, run_soak
 
-__all__ = ["SoakConfig", "SoakReport", "run_soak"]
+__all__ = [
+    "PolicyOutcome",
+    "RestartSoakConfig",
+    "RestartSoakReport",
+    "SoakConfig",
+    "SoakReport",
+    "run_restart_soak",
+    "run_soak",
+]

@@ -9,7 +9,10 @@ against it, and then checks what the paper promises survives:
 * every read satisfied multi-writer **regular-register** semantics
   (:mod:`repro.analysis.registers`);
 * after the dust settles, every touched stripe passes a **parity
-  scrub** — the erasure-code equations hold end to end.
+  scrub** — the erasure-code equations hold end to end;
+* every node's **persisted store matches its in-memory state** (the
+  nodes run on :class:`~repro.storage.wal.WalStore` by default), which
+  catches write-back and logging bugs the parity check cannot see.
 
 Everything — the fault plan, the workload, and the fault decisions —
 derives from one seed, and the workload issues ops from a single
@@ -34,6 +37,7 @@ from repro.client.scrub import Scrubber
 from repro.core.cluster import Cluster
 from repro.errors import ReproError
 from repro.net.chaos import FaultPlan
+from repro.storage.wal import WalStore
 
 
 @dataclass(frozen=True)
@@ -51,6 +55,9 @@ class SoakConfig:
     read_fraction: float = 0.4
     #: GC runs synchronously every this many ops (0 disables).
     gc_every: int = 25
+    #: Back every node with a WalStore so the final audit can compare
+    #: persisted vs in-memory state (False = state-only nodes).
+    durable: bool = True
 
     # -- deadline machinery under test ----------------------------------
     rpc_timeout: float = 0.05
@@ -80,13 +87,20 @@ class SoakReport:
     ledger_counts: dict[str, int] = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
     parity_clean: bool = False
+    store_clean: bool = True
+    store_mismatches: list[str] = field(default_factory=list)
     rpc_timeouts: int = 0
     remaps: int = 0
     recoveries: int = 0
 
     @property
     def passed(self) -> bool:
-        return not self.violations and self.parity_clean and self.op_failures == 0
+        return (
+            not self.violations
+            and self.parity_clean
+            and self.store_clean
+            and self.op_failures == 0
+        )
 
     def summary(self) -> str:
         lines = [
@@ -106,6 +120,12 @@ class SoakReport:
             f"  ledger  digest: {self.ledger_digest}",
             f"  regular-register violations: {len(self.violations)}",
             f"  final parity scrub clean: {self.parity_clean}",
+            f"  store-vs-memory clean: {self.store_clean}"
+            + (
+                f" ({len(self.store_mismatches)} mismatches)"
+                if self.store_mismatches
+                else ""
+            ),
             ("PASS" if self.passed else "FAIL")
             + f" (reproduce with --seed {self.seed})",
         ]
@@ -136,12 +156,18 @@ def run_soak(config: SoakConfig) -> SoakReport:
         gray_stall=config.gray_stall,
         gray_window=config.gray_window,
     )
+    store_factory = None
+    if config.durable:
+        # Durable nodes, fault-free media: the chaos soak exercises the
+        # *network* fault axis; disk faults belong to the restart soak.
+        store_factory = lambda slot: WalStore(tag=f"slot{slot}")  # noqa: E731
     cluster = Cluster(
         k=config.k,
         n=config.n,
         block_size=config.block_size,
         seed=config.seed,
         chaos_plan=plan,
+        store_factory=store_factory,
     )
     client_config = ClientConfig(
         strategy=WriteStrategy.PARALLEL,
@@ -191,6 +217,8 @@ def run_soak(config: SoakConfig) -> SoakReport:
     Scrubber(auditor, repair=True).scrub(stripes)
     verify = Scrubber(auditor, repair=False).scrub(stripes)
     report.parity_clean = verify.healthy and verify.clean == len(stripes)
+    report.store_mismatches = cluster.verify_store_consistency()
+    report.store_clean = not report.store_mismatches
 
     report.violations = [
         str(v) for v in recorder.check(initial=initial)

@@ -10,6 +10,10 @@ Commands
 ``chaos-soak``  seeded fault-injection soak: workload under drops,
                 delays, duplication and a gray node, then consistency
                 + parity audit (failures reproduce from the seed)
+``restart-soak`` crash-restart soak: kills and restarts a durable node
+                mid-workload under combined network + disk faults, and
+                proves restart recovery moves strictly fewer bytes
+                than fail-remap rebuild
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ import sys
 
 from repro.analysis.resiliency import resiliency_profile
 from repro.baselines.costs import format_cost_table
+from repro.chaos.restart_soak import RestartSoakConfig, run_restart_soak
 from repro.chaos.soak import SoakConfig, run_soak
 from repro.client.config import WriteStrategy
 from repro.core.cluster import Cluster
@@ -121,6 +126,36 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_restart_soak(args: argparse.Namespace) -> int:
+    defaults = RestartSoakConfig()
+    if args.ops is not None:
+        ops = args.ops
+    elif args.smoke:
+        ops = 120
+    else:
+        ops = defaults.ops
+    # Keep the crash windows proportional when the op count shrinks.
+    scale = ops / defaults.ops
+    config = RestartSoakConfig(
+        seed=args.seed,
+        ops=ops,
+        window_a=tuple(int(i * scale) for i in defaults.window_a),
+        window_b=tuple(int(i * scale) for i in defaults.window_b),
+        torn=args.torn,
+        lost=args.lost,
+        drop=args.drop,
+        dup=args.dup,
+    )
+    report = run_restart_soak(config)
+    print(report.summary())
+    for outcome in (report.restart, report.remap):
+        for violation in outcome.violations:
+            print(f"  [{outcome.policy}] VIOLATION: {violation}")
+        for mismatch in outcome.store_mismatches:
+            print(f"  [{outcome.policy}] STORE MISMATCH: {mismatch}")
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -183,6 +218,24 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--dup", type=float, default=0.06)
     soak.add_argument("--gray-stall", type=float, default=5.0)
     soak.set_defaults(func=cmd_chaos_soak)
+
+    restart = sub.add_parser(
+        "restart-soak",
+        help="crash-restart soak: durable-node recovery vs fail-remap",
+    )
+    restart.add_argument("--seed", type=int, default=11)
+    restart.add_argument("--ops", type=int, default=None,
+                         help="workload length per policy run "
+                              "(default 160; 120 with --smoke)")
+    restart.add_argument("--smoke", action="store_true",
+                         help="short CI-sized run")
+    restart.add_argument("--torn", type=float, default=0.04,
+                         help="per-frame torn-write probability at crash")
+    restart.add_argument("--lost", type=float, default=0.04,
+                         help="per-frame lost-write probability at crash")
+    restart.add_argument("--drop", type=float, default=0.02)
+    restart.add_argument("--dup", type=float, default=0.04)
+    restart.set_defaults(func=cmd_restart_soak)
 
     calibrate = sub.add_parser("calibrate", help="measure kernel costs")
     calibrate.add_argument("--block-size", type=int, default=1024)

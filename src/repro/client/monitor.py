@@ -11,6 +11,16 @@ block slot and starts recovery when it finds:
   but unfinished write (partial-write window of the paper's fourth
   limitation).
 
+A *deep* sweep additionally catches what probes cannot: a node that
+crash-restarted with its own disk (``Cluster.restart_storage``) comes
+back ``NORM``, not ``INIT`` — but it may be *delta behind*, missing
+writes (or partial writes) that landed while it was down.  The deep
+check snapshots all n states and runs recovery's own
+``find_consistent`` oracle; a stripe whose maximal consistent set is
+smaller than n has diverged tid bookkeeping and is repaired.  Because
+the oracle subtracts the union of oldlists (the G set), ordinary GC
+timing skew does not produce false positives.
+
 Running the monitor after client crashes — before any storage crash —
 restores full recoverability even when the t_p budget was exceeded,
 as long as no storage node has failed (the paper's §3.10 claim, which
@@ -21,9 +31,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.client.consistency import find_consistent
 from repro.client.protocol import ProtocolClient
 from repro.errors import NodeUnavailableError, RpcTimeoutError
-from repro.storage.state import LockMode, OpMode
+from repro.storage.state import LockMode, OpMode, StateSnapshot
 
 
 @dataclass
@@ -36,6 +47,7 @@ class MonitorReport:
     expired_locks: int = 0
     unreachable: int = 0
     timeouts: int = 0  # probes that hit their RPC deadline (gray node?)
+    delta_behind: int = 0  # deep check: restarted node missing writes
     recovered_stripes: list[int] = field(default_factory=list)
 
 
@@ -46,14 +58,43 @@ class Monitor:
         self.client = client
         self.stale_after = stale_after
 
-    def sweep(self, stripes: range | list[int]) -> MonitorReport:
-        """Probe all slots of the given stripes; recover damaged stripes."""
+    def sweep(
+        self, stripes: range | list[int], deep: bool = False
+    ) -> MonitorReport:
+        """Probe all slots of the given stripes; recover damaged stripes.
+
+        With ``deep=True``, stripes whose probes look healthy get the
+        full tid-bookkeeping check (``find_consistent`` over all n
+        snapshots) — the only way to see that a crash-restarted node is
+        delta behind, since it answers probes as a normal NORM node.
+        """
         report = MonitorReport()
         for stripe in stripes:
-            if self._stripe_needs_recovery(stripe, report):
+            needs = self._stripe_needs_recovery(stripe, report)
+            if not needs and deep and self._stripe_delta_behind(stripe):
+                report.delta_behind += 1
+                needs = True
+            if needs:
                 self.client._start_recovery(stripe)
                 report.recovered_stripes.append(stripe)
         return report
+
+    def _stripe_delta_behind(self, stripe: int) -> bool:
+        """True when some NORM node's tid lists have diverged — e.g. a
+        restarted node that missed (or only partially saw) writes while
+        it was down.  Uses recovery's own oracle, so it never flags a
+        stripe recovery would consider fully consistent."""
+        client = self.client
+        data: dict[int, StateSnapshot] = {}
+        for j in range(client.n):
+            try:
+                data[j] = client._call(
+                    stripe, j, "get_state", client._addr(stripe, j)
+                )
+            except NodeUnavailableError:
+                return True  # unreachable mid-check: clearly degraded
+        cset = find_consistent(data, client.k)
+        return len(cset) < client.n
 
     def _stripe_needs_recovery(self, stripe: int, report: MonitorReport) -> bool:
         needs = False

@@ -536,7 +536,13 @@ class ProtocolClient:
 
     def _phase1_lock_all(self, stripe: int) -> bool:
         """Acquire L1 on all n blocks in index order; on conflict release
-        what we got and yield to the other recoverer."""
+        what we got and yield to the other recoverer.
+
+        Timeouts are retried, not propagated: the grant (or the release)
+        may have landed with only the response lost, and the node-side
+        trylock re-grants to the same caller, so retrying is safe —
+        while giving up mid-acquisition would leak locks this client is
+        the only party able to clear."""
         acquired: list[tuple[int, LockMode]] = []
         for j in range(self.n):
             result = None
@@ -553,24 +559,33 @@ class ProtocolClient:
                     break
                 except NodeUnavailableError:
                     continue  # remapped inside _call; retry on fresh node
+                except RpcTimeoutError:
+                    continue  # maybe granted; re-grant makes retry safe
             if result is None or not result.ok:
                 def release(item: tuple[int, LockMode]) -> None:
                     pos, old = item
-                    try:
-                        self._call(
-                            stripe,
-                            pos,
-                            "setlock",
-                            self._addr(stripe, pos),
-                            old,
-                            caller=self.client_id,
-                        )
-                    except NodeUnavailableError:
-                        pass
+                    self._setlock_robust(stripe, pos, old)
                 pfor(acquired, release)
                 return False
             acquired.append((j, result.oldlmode))
         return True
+
+    def _setlock_robust(self, stripe: int, pos: int, lm: LockMode) -> None:
+        """Idempotent setlock that retries through timeouts.  A dropped
+        release would leak a lock the same client can never reclaim,
+        wedging the stripe for every future recovery; an unavailable
+        node needs no release (its replacement comes up unlocked)."""
+        for _ in range(self.config.max_op_attempts):
+            try:
+                self._call(
+                    stripe, pos, "setlock", self._addr(stripe, pos), lm,
+                    caller=self.client_id,
+                )
+                return
+            except RpcTimeoutError:
+                continue
+            except NodeUnavailableError:
+                return
 
     def _get_states(self, stripe: int, indices: list[int]) -> dict[int, StateSnapshot]:
         def fetch(j: int) -> StateSnapshot:
@@ -715,13 +730,7 @@ class ProtocolClient:
 
     def _set_locks(self, stripe: int, indices, lm: LockMode) -> None:
         def one(j: int) -> None:
-            try:
-                self._call(
-                    stripe, j, "setlock", self._addr(stripe, j), lm,
-                    caller=self.client_id,
-                )
-            except NodeUnavailableError:
-                pass
+            self._setlock_robust(stripe, j, lm)
 
         pfor(list(indices), one)
 

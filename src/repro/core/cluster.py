@@ -10,6 +10,7 @@ node / crash a client mid-write) and whole-stripe invariant checks.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -25,7 +26,20 @@ from repro.net.local import DelayModel, LocalTransport
 from repro.net.transport import Transport
 from repro.storage.node import StorageNode, VolumeMeta
 from repro.storage.server import InstrumentedServer
-from repro.storage.state import OpMode
+from repro.storage.state import BlockState, OpMode
+from repro.storage.store import BlockStore
+
+
+@dataclass(frozen=True)
+class RestartReport:
+    """Outcome of one :meth:`Cluster.restart_storage` call."""
+
+    slot: int
+    node_id: str
+    clean: bool  # WAL replayed fully; node serves its old state
+    reason: str | None  # why replay was dirty (torn/lost), if it was
+    blocks_restored: int
+    records_replayed: int
 
 
 class Cluster:
@@ -67,6 +81,8 @@ class Cluster:
         # ``lambda slot: SimulatedDiskStore()`` for the §3.11 study.
         self._store_factory = store_factory
         self.stores: dict[int, object] = {}
+        #: Slots crashed under the "restart" policy, awaiting restart_storage.
+        self._down: dict[int, str] = {}
         self._nodes: dict[str, StorageNode] = {}
         self._servers: dict[str, InstrumentedServer] = {}
         self._clients: dict[str, ProtocolClient] = {}
@@ -84,10 +100,17 @@ class Cluster:
     # node lifecycle
     # ------------------------------------------------------------------
 
-    def _install_node(self, node_id: str, slot: int, fresh: bool) -> StorageNode:
-        store = None
-        if self._store_factory is not None:
+    def _install_node(
+        self,
+        node_id: str,
+        slot: int,
+        fresh: bool,
+        store: BlockStore | None = None,
+        restore: dict[BlockAddr, BlockState] | None = None,
+    ) -> StorageNode:
+        if store is None and self._store_factory is not None:
             store = self._store_factory(slot)
+        if store is not None:
             self.stores[slot] = store
         node = StorageNode(
             node_id=node_id,
@@ -96,6 +119,7 @@ class Cluster:
             fresh=fresh,
             seed=self._seed + slot * 1009 + (1 if fresh else 0),
             store=store,
+            restore=restore,
         )
         handler: StorageNode | InstrumentedServer = node
         if self.instrument:
@@ -179,11 +203,89 @@ class Cluster:
     # fault injection
     # ------------------------------------------------------------------
 
-    def crash_storage(self, slot: int) -> str:
-        """Fail-stop the node currently serving ``slot``; returns its id."""
+    def crash_storage(
+        self, slot: int, policy: str = "remap", media_force: str | None = None
+    ) -> str:
+        """Fail-stop the node currently serving ``slot``; returns its id.
+
+        ``policy`` selects what the failure *means* for the slot:
+
+        * ``"remap"`` (the paper's §3.5 model, and the default): the
+          node is gone for good.  The next client that detects the
+          crash remaps the slot to a freshly provisioned replacement
+          whose blocks are ``INIT`` garbage; every stripe the old node
+          served must be fully reconstructed from its peers.
+
+        * ``"restart"``: the node will come back *with its own disk*
+          (requires a store with ``supports_restart``, e.g.
+          :class:`~repro.storage.wal.WalStore`).  The slot is pinned in
+          the directory — client-triggered remaps become no-ops, so
+          the downtime is ridden out with retries and degraded reads —
+          and the store takes its seeded crash-time media damage.
+          Call :meth:`restart_storage` to bring the node back: a clean
+          WAL replay restores the exact pre-crash state (epoch, tid
+          lists, blocks) and only the writes missed while down need
+          repair; a torn/lost tail degrades the node to fresh ``INIT``,
+          i.e. the remap cost, but *detected*, never silent.
+
+        ``media_force`` ("torn"/"lost", restart policy only) damages
+        the last WAL record unconditionally — deterministic injection
+        for tests and the restart soak's forced-degradation cycle.
+        """
+        if policy not in ("remap", "restart"):
+            raise ValueError(f"unknown crash policy {policy!r}")
         node_id = self.directory.node_id(slot)
-        self.transport.crash(node_id)
+        if policy == "restart":
+            store = self.stores.get(slot)
+            if store is None or not getattr(store, "supports_restart", False):
+                raise ValueError(
+                    f"slot {slot} has no restart-capable store; use a "
+                    f"store_factory building WalStore for policy='restart'"
+                )
+            # Pin before crashing so no client can slip in a remap
+            # between failure detection and the eventual restart.
+            self.directory.pin(slot)
+            self._down[slot] = node_id
+            self.transport.crash(node_id)
+            store.crash(force=media_force)
+        else:
+            self.transport.crash(node_id)
         return node_id
+
+    def restart_storage(self, slot: int) -> RestartReport:
+        """Bring back a node crashed under ``policy="restart"``.
+
+        Replays the slot's WAL.  Clean replay: the node rejoins under
+        its old identity with its persisted epoch, tid lists and block
+        images intact, and serves immediately — the monitor/rebuilder
+        then repair only stripes whose tid bookkeeping shows writes the
+        node missed while down.  Dirty replay (torn or lost records):
+        the media is wiped and the node rejoins fresh, all-``INIT``,
+        exactly like a remapped replacement.
+        """
+        if slot not in self._down:
+            raise ValueError(
+                f"slot {slot} was not crashed with policy='restart'"
+            )
+        node_id = self._down.pop(slot)
+        store = self.stores[slot]
+        result = store.reopen()
+        if result.clean:
+            node = self._install_node(
+                node_id, slot, fresh=False, store=store, restore=result.states
+            )
+        else:
+            store.reset()
+            node = self._install_node(node_id, slot, fresh=True, store=store)
+        self.directory.unpin(slot)
+        return RestartReport(
+            slot=slot,
+            node_id=node.node_id,
+            clean=result.clean,
+            reason=result.reason,
+            blocks_restored=len(result.states),
+            records_replayed=result.records,
+        )
 
     def crash_client(self, client_id: str) -> None:
         """Fail-stop a client (its in-flight operations die with it)."""
@@ -221,6 +323,54 @@ class Cluster:
             if state.opmode is not OpMode.NORM:
                 return False
         return self.code.is_consistent_stripe(self.stripe_blocks(stripe, volume))
+
+    def verify_store_consistency(self) -> list[str]:
+        """Audit: every node's persisted store matches its in-memory state.
+
+        For each live node with a store, flush write-back buffers and
+        compare, per persisted address, the store's block image (and,
+        for durable stores exposing ``persisted_state``, the metadata:
+        opmode, epoch, tid lists, recons_set) against the node's
+        in-memory :class:`BlockState`.  Returns human-readable mismatch
+        descriptions — empty means the durable and volatile views agree.
+        Catches write-back and replay bugs the parity scrub cannot see.
+        """
+        mismatches: list[str] = []
+        for slot in self.directory.slots():
+            node = self.node_for_slot(slot)
+            store = node.store
+            if store is None:
+                continue
+            store.sync()
+            addrs = store.addresses()
+            if addrs is None:
+                continue  # store cannot enumerate; nothing to audit
+            get_state = getattr(store, "persisted_state", None)
+            for addr in addrs:
+                memory = node.peek(addr)
+                image = store.load(addr)
+                if image is None or not np.array_equal(image, memory.block):
+                    mismatches.append(
+                        f"slot {slot} {addr}: persisted block != memory"
+                    )
+                    continue
+                if get_state is None:
+                    continue
+                durable = get_state(addr)
+                if durable is None:
+                    mismatches.append(
+                        f"slot {slot} {addr}: no persisted state"
+                    )
+                    continue
+                for fld in ("opmode", "epoch", "recentlist", "oldlist",
+                            "recons_set"):
+                    if getattr(durable, fld) != getattr(memory, fld):
+                        mismatches.append(
+                            f"slot {slot} {addr}: persisted {fld} "
+                            f"{getattr(durable, fld)!r} != memory "
+                            f"{getattr(memory, fld)!r}"
+                        )
+        return mismatches
 
     def metadata_bytes(self) -> int:
         """Protocol control-state across all live storage nodes (§6.5)."""

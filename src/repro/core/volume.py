@@ -134,9 +134,12 @@ class VolumeClient:
             thread.join(timeout=10)
             self._gc_loop = None
 
-    def monitor_sweep(self, stripes: Iterable[int]) -> MonitorReport:
-        """Probe stripes for damage and repair them (§3.10)."""
-        return self.monitor.sweep(list(stripes))
+    def monitor_sweep(
+        self, stripes: Iterable[int], deep: bool = False
+    ) -> MonitorReport:
+        """Probe stripes for damage and repair them (§3.10); ``deep``
+        also catches restarted nodes that are delta behind."""
+        return self.monitor.sweep(list(stripes), deep=deep)
 
     def recover_stripe(self, stripe: int) -> bool:
         """Explicitly recover one stripe (normally triggered on access)."""

@@ -33,6 +33,7 @@ class Directory:
         self._provisioner = provisioner
         self._map: dict[int, str] = {}
         self._incarnation: dict[int, int] = {}
+        self._pinned: set[int] = set()
         self._lock = threading.Lock()
 
     def bind(self, slot: int, node_id: str) -> None:
@@ -58,17 +59,40 @@ class Directory:
         with self._lock:
             return sorted(self._map)
 
+    def pin(self, slot: int) -> None:
+        """Freeze a slot's binding: remap becomes a no-op until unpin.
+
+        Used by the crash-*restart* policy: the operator expects the
+        crashed node back with its own disk, so clients detecting the
+        crash must not provision a fresh INIT replacement in the
+        meantime (that would discard the cheap-rejoin opportunity and,
+        worse, let the old node rebind over a newer incarnation)."""
+        with self._lock:
+            self._pinned.add(slot)
+
+    def unpin(self, slot: int) -> None:
+        with self._lock:
+            self._pinned.discard(slot)
+
+    def is_pinned(self, slot: int) -> bool:
+        with self._lock:
+            return slot in self._pinned
+
     def remap(self, slot: int, failed_node_id: str) -> str:
         """Replace a failed node; idempotent against concurrent callers.
 
         Only remaps if ``failed_node_id`` is still the slot's current
         binding — a racing client that already remapped wins, and we
-        simply return the fresh binding.
+        simply return the fresh binding.  A *pinned* slot (crash-restart
+        in progress) never remaps; callers keep talking to the current
+        binding and ride out the downtime with retries/degraded reads.
         """
         with self._lock:
             current = self._map.get(slot)
             if current is None:
                 raise UnknownSlotError(f"slot {slot} is not bound")
+            if slot in self._pinned:
+                return current  # restart pending; no fresh replacement
             if current != failed_node_id:
                 return current  # somebody already remapped
             incarnation = self._incarnation.get(slot, 0) + 1

@@ -3,6 +3,13 @@
 from repro.storage.node import BROADCAST_INDEX, StorageNode, VolumeMeta
 from repro.storage.server import InstrumentedServer, ServiceTimes
 from repro.storage.store import BlockStore, MemoryStore, SimulatedDiskStore
+from repro.storage.wal import (
+    MediaFaultPlan,
+    ReplayResult,
+    SimMedia,
+    WalStore,
+    replay,
+)
 from repro.storage.state import (
     AddResult,
     AddStatus,
@@ -29,14 +36,19 @@ __all__ = [
     "CheckTidStatus",
     "InstrumentedServer",
     "LockMode",
+    "MediaFaultPlan",
     "OpMode",
     "ReadResult",
+    "ReplayResult",
     "ServiceTimes",
+    "SimMedia",
     "StateSnapshot",
     "StorageNode",
     "SwapResult",
     "TidEntry",
     "TryLockResult",
     "VolumeMeta",
+    "WalStore",
+    "replay",
     "tids",
 ]

@@ -96,6 +96,7 @@ class StorageNode(RpcHandler):
         seed: int | None = None,
         store: BlockStore | None = None,
         lock_lease: float | None = None,
+        restore: dict[BlockAddr, BlockState] | None = None,
     ):
         self.node_id = node_id
         self.slot = slot
@@ -114,6 +115,19 @@ class StorageNode(RpcHandler):
         self._clock = 0  # node-local logical time ("auto incremented")
         self._rng = np.random.default_rng(seed)
         self.op_counts: dict[str, int] = {}
+        if restore:
+            # Crash-restart with durable state: adopt the replayed
+            # images and resume the logical clock past every persisted
+            # entry so new tid entries keep strictly increasing times.
+            self._blocks.update(restore)
+            self._clock = max(
+                (
+                    entry.seq_time
+                    for state in restore.values()
+                    for entry in state.recentlist | state.oldlist
+                ),
+                default=0,
+            )
 
     # ------------------------------------------------------------------
     # plumbing
@@ -169,7 +183,13 @@ class StorageNode(RpcHandler):
         if self.store is None:
             return
         redundant = addr.index >= self._meta(addr).code.k
-        self.store.store(addr, state.block, redundant)
+        self.store.persist(addr, state, redundant)
+
+    def _persist_meta(self, addr: BlockAddr, state: BlockState) -> None:
+        """Push a metadata-only change (epoch, tid lists, opmode) to the
+        backend; a no-op for content-only stores."""
+        if self.store is not None:
+            self.store.persist_meta(addr, state)
 
     def _maybe_expire(self, state: BlockState) -> None:
         """Lease expiry: a lock older than ``lock_lease`` becomes EXP."""
@@ -301,6 +321,14 @@ class StorageNode(RpcHandler):
         state = self._state(addr)
         self._maybe_expire(state)
         if state.lmode in (LockMode.L0, LockMode.L1):
+            if state.lid == caller:
+                # Idempotent re-grant: the first grant's response may
+                # have been lost in flight, and the holder retrying is
+                # the only party that can ever clear this lock — refuse
+                # it and the stripe is wedged for every future recovery.
+                state.lmode = lm
+                state.lock_time = _time.monotonic()
+                return TryLockResult(ok=True, oldlmode=LockMode.UNL)
             return TryLockResult(ok=False, oldlmode=state.lmode)
         old = state.lmode
         state.lmode = lm
@@ -352,6 +380,7 @@ class StorageNode(RpcHandler):
             state.opmode = OpMode.NORM
         state.lmode = LockMode.UNL
         state.lid = None
+        self._persist_meta(addr, state)
 
     # ------------------------------------------------------------------
     # Fig. 7 — garbage collection
@@ -363,6 +392,7 @@ class StorageNode(RpcHandler):
             return None
         drop = set(tid_list)
         state.oldlist = {e for e in state.oldlist if e.tid not in drop}
+        self._persist_meta(addr, state)
         return "OK"
 
     def gc_recent(self, addr: BlockAddr, tid_list: list[Tid] | set[Tid]) -> str | None:
@@ -373,6 +403,7 @@ class StorageNode(RpcHandler):
         moving = {e for e in state.recentlist if e.tid in move}
         state.recentlist -= moving
         state.oldlist |= moving
+        self._persist_meta(addr, state)
         return "OK"
 
     # ------------------------------------------------------------------
@@ -409,6 +440,13 @@ class StorageNode(RpcHandler):
     def block_count(self) -> int:
         with self._lock:
             return len(self._blocks)
+
+    def addresses(self) -> list[BlockAddr]:
+        """Every block slot this node has materialized state for."""
+        with self._lock:
+            return sorted(
+                self._blocks, key=lambda a: (a.volume, a.stripe, a.index)
+            )
 
     def metadata_bytes(self) -> int:
         """Total protocol control-state held, for §6.5."""

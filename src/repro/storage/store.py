@@ -22,14 +22,31 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.ids import BlockAddr
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.state import BlockState
+
 
 class BlockStore(ABC):
-    """Where a storage node persists block contents."""
+    """Where a storage node persists block contents.
+
+    Stores that also persist protocol *metadata* (tid lists, epoch,
+    opmode) and can survive a crash-restart cycle set
+    ``supports_restart = True`` and override :meth:`persist` /
+    :meth:`persist_meta` (see :class:`~repro.storage.wal.WalStore`).
+    The defaults keep content-only stores working unchanged: ``persist``
+    forwards the block image to :meth:`store` and ``persist_meta`` is a
+    no-op (so e.g. :class:`SimulatedDiskStore`'s device-write counting
+    is not perturbed by metadata churn).
+    """
+
+    #: Whether this store can back ``Cluster.crash_storage(policy="restart")``.
+    supports_restart = False
 
     @abstractmethod
     def store(self, addr: BlockAddr, block: np.ndarray, redundant: bool) -> None:
@@ -38,6 +55,20 @@ class BlockStore(ABC):
     @abstractmethod
     def load(self, addr: BlockAddr) -> np.ndarray | None:
         """Most recently persisted image, or None if never stored."""
+
+    def persist(self, addr: BlockAddr, state: "BlockState", redundant: bool) -> None:
+        """Persist a slot after a *content* change.  Durable stores log
+        the full state; the default keeps the legacy content-only path."""
+        self.store(addr, state.block, redundant)
+
+    def persist_meta(self, addr: BlockAddr, state: "BlockState") -> None:
+        """Persist a slot after a *metadata-only* change (finalize, GC).
+        No-op for content-only stores."""
+
+    def addresses(self) -> list[BlockAddr] | None:
+        """Every address this store holds an image for, or None when the
+        store cannot enumerate (content-only stores need not track it)."""
+        return None
 
     def observe_stripe(self, stripe: int) -> None:
         """Hint: the node is now serving activity for ``stripe``."""
@@ -61,6 +92,12 @@ class MemoryStore(BlockStore):
         with self._lock:
             block = self._blocks.get(addr)
             return None if block is None else block.copy()
+
+    def addresses(self) -> list[BlockAddr]:
+        with self._lock:
+            return sorted(
+                self._blocks, key=lambda a: (a.volume, a.stripe, a.index)
+            )
 
 
 class SimulatedDiskStore(BlockStore):
@@ -118,6 +155,11 @@ class SimulatedDiskStore(BlockStore):
             for addr, image in self._dirty.items():
                 self._write_device(addr, image)
             self._dirty.clear()
+
+    def addresses(self) -> list[BlockAddr]:
+        with self._lock:
+            known = set(self._disk) | set(self._dirty)
+            return sorted(known, key=lambda a: (a.volume, a.stripe, a.index))
 
     # -- introspection ---------------------------------------------------------
 

@@ -1,0 +1,475 @@
+"""Durable node state: a write-ahead-logged :class:`BlockStore`.
+
+The paper treats every storage failure as fail-remap: the replacement
+comes up ``INIT`` with garbage and the whole node is reconstructed from
+its peers (§3.5).  Real erasure-coded stores avoid that cost whenever
+they can — a node that *restarts with its own disk* only needs the
+delta it missed while down.  :class:`WalStore` supplies the disk half
+of that story:
+
+* every content or metadata change a node acks is first appended to an
+  append-only log and synced (write-ahead, sync-on-commit);
+* each record is a **full image** of one block slot's durable state —
+  block bytes, ``opmode``, ``epoch``, ``recentlist``/``oldlist``,
+  ``recons_set`` — so replay is a pure last-writer-wins fold over
+  (addr, lsn) and is idempotent and order-insensitive by construction;
+* the log is periodically compacted into a snapshot (one record per
+  live address, rewritten atomically);
+* the "device" underneath (:class:`SimMedia`) injects *disk* faults at
+  crash time — torn (partially written) and lost (reordered-out) tail
+  records — under a seed, mirroring ``FaultPlan``'s determinism for
+  the network.
+
+Volatile-by-design state: lock fields (``lmode``/``lid``/``lock_time``)
+are never persisted.  A restarted node comes back unlocked, exactly as
+the paper's Fig. 6 footnote assumes for nodes that "lose their locked
+state"; an interrupted recovery is re-driven by whichever client next
+touches the stripe.
+
+Crash-detection model: the media keeps a tiny *commit header* holding
+the last synced LSN, modeled as sector-atomic and reliable (the
+classic superblock assumption).  Data frames, by contrast, sit behind
+a lying write cache: at crash, the last ``exposure`` synced frames may
+be torn (truncated mid-frame, caught by CRC) or lost entirely (caught
+as an LSN gap, or as ``max parsed LSN < header LSN`` for a lost tail).
+Any damage makes replay *dirty* and the node degrades to fresh-INIT +
+rebuild — durability faults are detected, never silently absorbed.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from repro.ids import BlockAddr, Tid
+from repro.net.chaos import _unit
+from repro.storage.state import BlockState, LockMode, OpMode, TidEntry
+from repro.storage.store import BlockStore
+
+#: Frame header: LSN (8 bytes), payload length (4), payload CRC32 (4).
+_FRAME = struct.Struct(">QII")
+
+
+# ---------------------------------------------------------------------------
+# record codec
+# ---------------------------------------------------------------------------
+
+
+def state_to_record(addr: BlockAddr, state: BlockState) -> dict:
+    """Project the *durable* part of a :class:`BlockState` to a plain
+    dict (lock fields are volatile and deliberately dropped)."""
+
+    def entries(items: set[TidEntry]) -> list[tuple]:
+        return sorted(
+            (e.tid.seq, e.tid.index, e.tid.client, e.seq_time, e.wall_time)
+            for e in items
+        )
+
+    return {
+        "addr": (addr.volume, addr.stripe, addr.index),
+        "opmode": state.opmode.value,
+        "epoch": state.epoch,
+        "recons": None
+        if state.recons_set is None
+        else sorted(state.recons_set),
+        "recent": entries(state.recentlist),
+        "old": entries(state.oldlist),
+        "block": state.block.tobytes(),
+    }
+
+
+def record_to_state(record: dict) -> tuple[BlockAddr, BlockState]:
+    """Inverse of :func:`state_to_record`; lock fields come back UNL."""
+
+    def entries(items: list[tuple]) -> set[TidEntry]:
+        return {
+            TidEntry(tid=Tid(seq, index, client), seq_time=st, wall_time=wt)
+            for seq, index, client, st, wt in items
+        }
+
+    volume, stripe, index = record["addr"]
+    block = np.frombuffer(bytes(record["block"]), dtype=np.uint8).copy()
+    state = BlockState(
+        block=block,
+        opmode=OpMode(record["opmode"]),
+        lmode=LockMode.UNL,
+        epoch=record["epoch"],
+        recentlist=entries(record["recent"]),
+        oldlist=entries(record["old"]),
+        recons_set=None
+        if record["recons"] is None
+        else frozenset(record["recons"]),
+    )
+    return BlockAddr(volume, stripe, index), state
+
+
+def encode_frame(lsn: int, record: dict) -> bytes:
+    payload = pickle.dumps(record, protocol=4)
+    return _FRAME.pack(lsn, len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_frame(data: bytes) -> tuple[int, dict] | None:
+    """Parse one frame; None means torn (short or checksum mismatch)."""
+    if len(data) < _FRAME.size:
+        return None
+    lsn, length, crc = _FRAME.unpack_from(data)
+    payload = data[_FRAME.size :]
+    if len(payload) != length or zlib.crc32(payload) != crc:
+        return None
+    return lsn, pickle.loads(payload)
+
+
+# ---------------------------------------------------------------------------
+# seeded media faults
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MediaEvent:
+    """One injected disk fault, for the ledger."""
+
+    kind: str  # torn | lost
+    tag: str  # media identity (e.g. "slot3")
+    crash_no: int
+    lsn: int
+
+    def key(self) -> tuple[str, str, int, int]:
+        return (self.kind, self.tag, self.crash_no, self.lsn)
+
+
+@dataclass(frozen=True)
+class MediaFaultPlan:
+    """Seeded disk-fault fates applied to the log tail at crash time.
+
+    Every draw is a pure function of ``(seed, tag, crash_no, position)``
+    via the same blake2b scheme as the network's ``FaultPlan`` — no
+    mutable RNG, so a fixed seed injects byte-identical disk faults on
+    every run.  ``exposure`` is the size of the lying write cache: only
+    the last that-many *synced* frames are at risk.
+    """
+
+    seed: int = 0
+    #: Probability an exposed frame is torn (truncated mid-write).
+    torn: float = 0.0
+    #: Probability an exposed frame is lost outright (reordered away).
+    lost: float = 0.0
+    #: How many tail frames are exposed to faults at each crash.
+    exposure: int = 4
+
+    def fate(self, tag: str, crash_no: int, position: int) -> tuple[str, float]:
+        """Fate of the ``position``-th exposed frame (0 = oldest): one
+        of ``keep``/``torn``/``lost`` plus the torn-fraction draw."""
+        key = (self.seed, tag, crash_no, position)
+        u = _unit(*key, "fate")
+        if u < self.lost:
+            return "lost", 0.0
+        if u < self.lost + self.torn:
+            return "torn", _unit(*key, "frac")
+        return "keep", 0.0
+
+
+class SimMedia:
+    """The simulated device under a :class:`WalStore`.
+
+    Holds an ordered list of opaque frames plus the sector-atomic
+    commit header (``header_lsn``).  ``crash`` applies the fault plan
+    to the synced tail; ``rewrite`` models an atomic snapshot swap
+    (write-new + fsync + rename), which is *not* fault-exposed.
+    """
+
+    def __init__(self, plan: MediaFaultPlan | None = None, tag: str = "media"):
+        self.plan = plan or MediaFaultPlan()
+        self.tag = tag
+        self.header_lsn = 0
+        self.crash_count = 0
+        self.fault_ledger: list[MediaEvent] = []
+        self._synced: list[bytes] = []
+        self._pending: list[tuple[int, bytes]] = []
+        self._lock = threading.Lock()
+
+    def append(self, lsn: int, frame: bytes) -> None:
+        with self._lock:
+            self._pending.append((lsn, frame))
+
+    def sync(self) -> None:
+        """Commit pending frames and advance the header atomically."""
+        with self._lock:
+            if not self._pending:
+                return
+            self._synced.extend(frame for _, frame in self._pending)
+            self.header_lsn = self._pending[-1][0]
+            self._pending.clear()
+
+    def rewrite(self, frames: list[tuple[int, bytes]]) -> None:
+        """Atomically replace the whole log (snapshot compaction)."""
+        with self._lock:
+            self._synced = [frame for _, frame in frames]
+            self.header_lsn = frames[-1][0] if frames else 0
+            self._pending.clear()
+
+    def frame_count(self) -> int:
+        with self._lock:
+            return len(self._synced)
+
+    def read(self) -> tuple[list[bytes], int]:
+        """What a reopening node finds: frames in order + header LSN."""
+        with self._lock:
+            return list(self._synced), self.header_lsn
+
+    def crash(self, force: str | None = None) -> None:
+        """Power-cut: un-synced frames vanish; the exposed synced tail
+        draws fates from the plan.  ``force`` ("torn"/"lost") damages
+        the last synced frame unconditionally — used by tests and the
+        soak's forced-degradation cycle."""
+        with self._lock:
+            self.crash_count += 1
+            self._pending.clear()
+            exposure = min(self.plan.exposure, len(self._synced))
+            start = len(self._synced) - exposure
+            kept: list[bytes] = self._synced[:start]
+            for position, frame in enumerate(self._synced[start:]):
+                fate, frac = self.plan.fate(self.tag, self.crash_count, position)
+                is_last = start + position == len(self._synced) - 1
+                if force is not None and is_last:
+                    fate, frac = force, 0.5
+                lsn = _frame_lsn(frame)
+                if fate == "lost":
+                    self.fault_ledger.append(
+                        MediaEvent("lost", self.tag, self.crash_count, lsn)
+                    )
+                    continue
+                if fate == "torn":
+                    cut = max(1, int(len(frame) * frac))
+                    kept.append(frame[:cut])
+                    self.fault_ledger.append(
+                        MediaEvent("torn", self.tag, self.crash_count, lsn)
+                    )
+                    continue
+                kept.append(frame)
+            self._synced = kept
+
+    def ledger_key(self) -> tuple[tuple[str, str, int, int], ...]:
+        with self._lock:
+            return tuple(sorted(e.key() for e in self.fault_ledger))
+
+
+def _frame_lsn(frame: bytes) -> int:
+    if len(frame) < 8:
+        return -1
+    return int.from_bytes(frame[:8], "big")
+
+
+# ---------------------------------------------------------------------------
+# replay
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one media image."""
+
+    states: dict[BlockAddr, BlockState] = dc_field(default_factory=dict)
+    clean: bool = True
+    reason: str | None = None
+    records: int = 0
+    max_lsn: int = 0
+
+
+def fold_records(records: list[tuple[int, dict]]) -> dict[BlockAddr, BlockState]:
+    """Last-writer-wins fold: for each address keep the record with the
+    highest LSN.  Pure, idempotent, order-insensitive — the property
+    the WAL's full-image record format buys."""
+    best: dict[BlockAddr, tuple[int, dict]] = {}
+    for lsn, record in records:
+        addr = BlockAddr(*record["addr"])
+        if addr not in best or lsn > best[addr][0]:
+            best[addr] = (lsn, record)
+    out: dict[BlockAddr, BlockState] = {}
+    for lsn, record in best.values():
+        addr, state = record_to_state(record)
+        out[addr] = state
+    return out
+
+
+def replay(frames: list[bytes], header_lsn: int) -> ReplayResult:
+    """Parse and fold a media image; detect torn/lost damage.
+
+    Damage taxonomy (all make the result *dirty*, states empty):
+
+    * **torn record** — a frame fails to parse (short / CRC mismatch);
+    * **lost record** — LSNs are not consecutive (a middle frame gone);
+    * **lost tail**   — the last parsed LSN is behind the commit header.
+    """
+    result = ReplayResult()
+    records: list[tuple[int, dict]] = []
+    prev_lsn: int | None = None
+    for i, frame in enumerate(frames):
+        decoded = decode_frame(frame)
+        if decoded is None:
+            result.clean = False
+            result.reason = f"torn record at frame {i}"
+            return result
+        lsn, record = decoded
+        if prev_lsn is not None and lsn != prev_lsn + 1:
+            result.clean = False
+            result.reason = (
+                f"lost record(s): lsn jumped {prev_lsn} -> {lsn}"
+            )
+            return result
+        prev_lsn = lsn
+        records.append((lsn, record))
+    result.records = len(records)
+    result.max_lsn = prev_lsn or 0
+    if result.max_lsn < header_lsn:
+        result.clean = False
+        result.reason = (
+            f"lost tail: header committed lsn {header_lsn}, "
+            f"log ends at {result.max_lsn}"
+        )
+        return result
+    result.states = fold_records(records)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# the store
+# ---------------------------------------------------------------------------
+
+
+class WalStore(BlockStore):
+    """A :class:`BlockStore` with restart support: WAL + snapshots over
+    a fault-injectable :class:`SimMedia`.
+
+    Lifecycle: ``persist``/``persist_meta`` while serving; ``crash()``
+    at fail-stop; ``reopen()`` on restart (returns a
+    :class:`ReplayResult` — clean means the caller may restore the
+    states verbatim); ``reset()`` wipes the media when replay was dirty
+    and the node must come back fresh-INIT.
+    """
+
+    supports_restart = True
+
+    def __init__(
+        self,
+        media: SimMedia | None = None,
+        plan: MediaFaultPlan | None = None,
+        tag: str = "media",
+        snapshot_every: int = 256,
+    ):
+        if snapshot_every < 8:
+            raise ValueError("snapshot_every must be >= 8")
+        self.media = media or SimMedia(plan, tag=tag)
+        self.snapshot_every = snapshot_every
+        self.compactions = 0
+        self._lsn = 0
+        self._states: dict[BlockAddr, BlockState] = {}
+        self._open = True
+        self._lock = threading.Lock()
+
+    # -- BlockStore interface ------------------------------------------------
+
+    def store(self, addr: BlockAddr, block: np.ndarray, redundant: bool) -> None:
+        """Content-only persist (legacy path); wraps into a full image
+        with default metadata so the log stays homogeneous."""
+        self.persist(addr, BlockState(block=np.asarray(block, dtype=np.uint8)),
+                     redundant)
+
+    def persist(self, addr: BlockAddr, state: BlockState, redundant: bool) -> None:
+        self._append(addr, state)
+
+    def persist_meta(self, addr: BlockAddr, state: BlockState) -> None:
+        # Full-image records: metadata changes re-log the whole slot.
+        self._append(addr, state)
+
+    def load(self, addr: BlockAddr) -> np.ndarray | None:
+        with self._lock:
+            state = self._states.get(addr)
+            return None if state is None else state.block.copy()
+
+    def addresses(self) -> list[BlockAddr]:
+        with self._lock:
+            return sorted(
+                self._states, key=lambda a: (a.volume, a.stripe, a.index)
+            )
+
+    def persisted_state(self, addr: BlockAddr) -> BlockState | None:
+        """Durable image of one slot (for store-vs-memory audits)."""
+        with self._lock:
+            state = self._states.get(addr)
+            if state is None:
+                return None
+            _, copy = record_to_state(state_to_record(addr, state))
+            return copy
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def crash(self, force: str | None = None) -> None:
+        """Fail-stop the node this store backs: the media takes its
+        seeded (or ``force``-d) tail damage; the in-memory mirror is
+        invalid until :meth:`reopen`."""
+        with self._lock:
+            self._open = False
+            self._states = {}
+        self.media.crash(force=force)
+
+    def reopen(self) -> ReplayResult:
+        """Replay the media.  On a clean replay the mirror is rebuilt
+        and the store serves again; on a dirty one the caller must
+        :meth:`reset` and bring the node up fresh."""
+        frames, header_lsn = self.media.read()
+        result = replay(frames, header_lsn)
+        with self._lock:
+            if result.clean:
+                self._states = {
+                    addr: state for addr, state in result.states.items()
+                }
+                self._lsn = max(result.max_lsn, self._lsn)
+                self._open = True
+        return result
+
+    def reset(self) -> None:
+        """Wipe the media (mkfs): used when replay detected damage and
+        the node rejoins as a fresh INIT replacement."""
+        with self._lock:
+            self._states = {}
+            self._lsn = 0
+            self._open = True
+        self.media.rewrite([])
+
+    # -- internals -----------------------------------------------------------
+
+    def _append(self, addr: BlockAddr, state: BlockState) -> None:
+        record = state_to_record(addr, state)
+        with self._lock:
+            if not self._open:
+                raise RuntimeError("WalStore is crashed; reopen() first")
+            self._lsn += 1
+            lsn = self._lsn
+            # Mirror through the codec so load()/persisted_state() see
+            # exactly what replay would reconstruct.
+            _, mirrored = record_to_state(record)
+            self._states[addr] = mirrored
+            live = len(self._states)
+        self.media.append(lsn, encode_frame(lsn, record))
+        self.media.sync()  # sync-on-commit: acked implies durable
+        if self.media.frame_count() >= max(self.snapshot_every, 2 * live):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Snapshot: rewrite one record per live address at fresh
+        consecutive LSNs (atomic swap; never fault-exposed)."""
+        with self._lock:
+            frames: list[tuple[int, bytes]] = []
+            for addr in sorted(
+                self._states, key=lambda a: (a.volume, a.stripe, a.index)
+            ):
+                self._lsn += 1
+                record = state_to_record(addr, self._states[addr])
+                frames.append((self._lsn, encode_frame(self._lsn, record)))
+            self.compactions += 1
+        self.media.rewrite(frames)

@@ -1,0 +1,108 @@
+"""The restart soak: determinism, guarantees, and the byte comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.restart_soak import (
+    RestartSoakConfig,
+    _run_policy,
+    run_restart_soak,
+)
+
+
+def small_config(seed: int = 11, **overrides) -> RestartSoakConfig:
+    defaults = dict(
+        seed=seed,
+        ops=80,
+        blocks=20,
+        window_a=(20, 28),
+        window_b=(52, 60),
+    )
+    defaults.update(overrides)
+    return RestartSoakConfig(**defaults)
+
+
+class TestRestartSoakValidation:
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ValueError, match="windows"):
+            run_restart_soak(
+                small_config(window_a=(20, 55), window_b=(52, 60))
+            )
+
+    def test_windows_beyond_ops_rejected(self):
+        with pytest.raises(ValueError, match="windows"):
+            run_restart_soak(small_config(ops=50))
+
+
+class TestRestartSoakDeterminism:
+    def test_same_seed_same_digests(self):
+        first = _run_policy(small_config(), "restart")
+        second = _run_policy(small_config(), "restart")
+        assert first.history_digest == second.history_digest
+        assert first.ledger_digest == second.ledger_digest
+        assert first.media_digest == second.media_digest
+        assert first.repair_bytes == second.repair_bytes
+        assert first.downtime_aborts == second.downtime_aborts
+
+    def test_different_seeds_diverge(self):
+        first = _run_policy(small_config(seed=11), "restart")
+        second = _run_policy(small_config(seed=12), "restart")
+        assert (first.history_digest, first.ledger_digest) != (
+            second.history_digest,
+            second.ledger_digest,
+        )
+
+
+class TestRestartSoakGuarantees:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_restart_soak(small_config())
+
+    def test_passes_end_to_end(self, report):
+        assert report.passed, report.summary()
+
+    def test_both_policies_keep_the_register_promise(self, report):
+        for outcome in (report.restart, report.remap):
+            assert outcome.violations == []
+            assert outcome.parity_clean
+            assert outcome.store_clean
+            assert outcome.op_failures == 0
+
+    def test_restart_moves_strictly_fewer_bytes_than_remap(self, report):
+        assert report.comparison_valid
+        assert 0 < report.bytes_restart < report.bytes_remap
+        # ...because it repaired strictly fewer stripes.
+        assert (
+            report.restart.repaired_stripes[0]
+            < report.remap.repaired_stripes[0]
+        )
+
+    def test_cycle_a_clean_cycle_b_forced_torn(self, report):
+        first, second = report.restart.restart_reports
+        assert first.clean and first.blocks_restored > 0
+        assert not second.clean and "torn" in second.reason
+        # The remap run never restarts anything.
+        assert report.remap.restart_reports == []
+
+    def test_downtime_aborts_only_under_restart_policy(self, report):
+        # With a pinned slot, full-stripe writes cannot complete; the
+        # remap policy replaces the node instead, so nothing aborts.
+        assert report.restart.downtime_aborts > 0
+        assert report.remap.downtime_aborts == 0
+
+    def test_summary_mentions_the_comparison(self, report):
+        text = report.summary()
+        assert "window-A repair bytes" in text
+        assert "PASS" in text
+
+    def test_seeded_media_damage_makes_comparison_vacuous(self):
+        # Seed 12's media plan tears cycle A's log tail (found by scan;
+        # deterministic).  The node degrades to INIT — correct, detected
+        # behavior — so the soak passes but reports the byte comparison
+        # as not applicable rather than claiming a strict win.
+        report = run_restart_soak(small_config(seed=12))
+        assert not report.comparison_valid
+        assert not report.restart.restart_reports[0].clean
+        assert report.passed, report.summary()
+        assert "n/a" in report.summary()

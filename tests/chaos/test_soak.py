@@ -59,3 +59,14 @@ class TestSoakGuarantees:
         assert counts.get("duplicate", 0) > 0
         assert report.rpc_timeouts > 0
         assert "PASS" in report.summary()
+
+    def test_final_scrub_audits_store_against_memory(self):
+        report = run_soak(small_config(seed=7))
+        assert report.store_clean
+        assert report.store_mismatches == []
+        assert "store-vs-memory clean: True" in report.summary()
+
+    def test_durable_false_skips_the_store_audit(self):
+        report = run_soak(small_config(seed=7, durable=False))
+        assert report.passed, report.summary()
+        assert report.store_clean  # vacuously: no stores to audit

@@ -105,16 +105,35 @@ class TestRebuild:
         assert RebuildReport().recovery_mbps(1024) == 0.0
 
     def test_foreground_traffic_during_rebuild(self, damaged_cluster):
-        """Reads and writes proceed while the rebuilder runs."""
+        """Reads and writes proceed while the rebuilder runs.
+
+        The two threads advance in lockstep: the rebuilder pauses after
+        each stripe (via its progress callback) until the foreground
+        client has completed one write+read round.  Every interleaving
+        is therefore exercised deterministically — unlike the previous
+        free-running version, which raced the rebuilder against the
+        foreground loop and flaked when either side starved the other.
+        """
         cluster, vol = damaged_cluster
-        rebuilder = Rebuilder(
-            cluster.protocol_client("r"), stripes_per_second=200.0
-        )
+        stripe_done = threading.Event()
+        foreground_done = threading.Event()
+
+        def pause(stripe: int, report: RebuildReport) -> None:
+            stripe_done.set()
+            assert foreground_done.wait(timeout=10), "foreground stalled"
+            foreground_done.clear()
+
+        rebuilder = Rebuilder(cluster.protocol_client("r"), progress=pause)
         thread, stop, result = rebuilder.rebuild_async(range(10))
-        for i in range(20):
-            vol.write_block(i % 30, bytes([200 + i % 50]))
-            vol.read_block(i % 30)
+        for i in range(10):
+            assert stripe_done.wait(timeout=10), "rebuilder stalled"
+            stripe_done.clear()
+            vol.write_block(i, bytes([200 + i]))
+            assert vol.read_block(i)[:1] == bytes([200 + i])
+            foreground_done.set()
         thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert result and result[0].examined == 10
         assert result[0].failed == []
         for s in range(10):
             assert cluster.stripe_consistent(s)

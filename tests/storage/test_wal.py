@@ -1,0 +1,278 @@
+"""WAL store: codec, crash/replay lifecycle, media faults, compaction."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.ids import BlockAddr, Tid
+from repro.storage.state import BlockState, LockMode, OpMode, TidEntry
+from repro.storage.wal import (
+    MediaFaultPlan,
+    SimMedia,
+    WalStore,
+    decode_frame,
+    encode_frame,
+    fold_records,
+    record_to_state,
+    replay,
+    state_to_record,
+)
+
+
+def _entry(seq: int, index: int = 0, client: str = "c", t: int = 1) -> TidEntry:
+    return TidEntry(tid=Tid(seq, index, client), seq_time=t, wall_time=0.5)
+
+
+def _state(fill: int, **kwargs) -> BlockState:
+    return BlockState(block=np.full(16, fill, dtype=np.uint8), **kwargs)
+
+
+def _addr(stripe: int = 0, index: int = 0) -> BlockAddr:
+    return BlockAddr("vol0", stripe, index)
+
+
+class TestRecordCodec:
+    def test_roundtrip_preserves_durable_fields(self):
+        state = _state(
+            7,
+            opmode=OpMode.RECONS,
+            epoch=3,
+            recentlist={_entry(5), _entry(6, 1)},
+            oldlist={_entry(2)},
+            recons_set=frozenset({0, 2}),
+        )
+        addr, back = record_to_state(state_to_record(_addr(4, 1), state))
+        assert addr == _addr(4, 1)
+        assert np.array_equal(back.block, state.block)
+        assert back.opmode is OpMode.RECONS
+        assert back.epoch == 3
+        assert back.recentlist == state.recentlist
+        assert back.oldlist == state.oldlist
+        assert back.recons_set == frozenset({0, 2})
+
+    def test_lock_fields_are_volatile(self):
+        state = _state(1, lmode=LockMode.L1, lid="writer", lock_time=9.0)
+        _, back = record_to_state(state_to_record(_addr(), state))
+        assert back.lmode is LockMode.UNL
+        assert back.lid is None
+        assert back.lock_time == 0.0
+
+    def test_frame_roundtrip(self):
+        record = state_to_record(_addr(), _state(9))
+        lsn, back = decode_frame(encode_frame(42, record))
+        assert lsn == 42
+        assert back == record
+
+    def test_torn_frame_decodes_to_none(self):
+        frame = encode_frame(1, state_to_record(_addr(), _state(9)))
+        for cut in (0, 5, len(frame) // 2, len(frame) - 1):
+            assert decode_frame(frame[:cut]) is None
+        # Bit rot inside the payload is caught by the CRC too.
+        corrupt = bytearray(frame)
+        corrupt[-1] ^= 0xFF
+        assert decode_frame(bytes(corrupt)) is None
+
+
+class TestWalStoreLifecycle:
+    def test_persist_load_and_persisted_state(self):
+        store = WalStore()
+        state = _state(3, epoch=2, recentlist={_entry(8)})
+        store.persist(_addr(1), state, redundant=False)
+        assert np.array_equal(store.load(_addr(1)), state.block)
+        durable = store.persisted_state(_addr(1))
+        assert durable.epoch == 2
+        assert durable.recentlist == state.recentlist
+        assert store.addresses() == [_addr(1)]
+        assert store.load(_addr(9)) is None
+
+    def test_clean_crash_reopen_restores_exact_state(self):
+        store = WalStore()
+        states = {}
+        for stripe in range(3):
+            state = _state(
+                stripe + 1,
+                epoch=stripe,
+                recentlist={_entry(10 + stripe)},
+                oldlist={_entry(stripe)},
+            )
+            states[_addr(stripe)] = state
+            store.persist(_addr(stripe), state, redundant=False)
+        # Overwrite one slot: replay must keep only the latest image.
+        newer = _state(99, epoch=5)
+        states[_addr(0)] = newer
+        store.persist_meta(_addr(0), newer)
+
+        store.crash()  # fault-free plan: nothing is damaged
+        with pytest.raises(RuntimeError):
+            store.persist(_addr(0), newer, redundant=False)
+        result = store.reopen()
+        assert result.clean
+        assert set(result.states) == set(states)
+        for addr, expected in states.items():
+            got = result.states[addr]
+            assert np.array_equal(got.block, expected.block)
+            assert got.epoch == expected.epoch
+            assert got.recentlist == expected.recentlist
+            assert got.oldlist == expected.oldlist
+
+    def test_forced_torn_tail_is_dirty(self):
+        store = WalStore()
+        store.persist(_addr(), _state(1), redundant=False)
+        store.persist(_addr(1), _state(2), redundant=False)
+        store.crash(force="torn")
+        result = store.reopen()
+        assert not result.clean
+        assert "torn" in result.reason
+        assert result.states == {}
+
+    def test_forced_lost_tail_is_dirty(self):
+        store = WalStore()
+        store.persist(_addr(), _state(1), redundant=False)
+        store.crash(force="lost")
+        result = store.reopen()
+        assert not result.clean
+        assert "lost" in result.reason
+
+    def test_reset_wipes_media_for_fresh_init(self):
+        store = WalStore()
+        store.persist(_addr(), _state(1), redundant=False)
+        store.crash(force="torn")
+        assert not store.reopen().clean
+        store.reset()
+        assert store.media.frame_count() == 0
+        # The store serves again from scratch.
+        store.persist(_addr(), _state(2), redundant=False)
+        assert store.reopen().clean
+
+    def test_seeded_media_damage_is_deterministic(self):
+        def run() -> tuple:
+            plan = MediaFaultPlan(seed=3, torn=0.5, lost=0.3, exposure=4)
+            store = WalStore(plan=plan, tag="det")
+            for i in range(6):
+                store.persist(_addr(i), _state(i + 1), redundant=False)
+            store.crash()
+            result = store.reopen()
+            return store.media.ledger_key(), result.clean, result.reason
+
+        assert run() == run()
+
+    def test_compaction_bounds_log_and_replays_clean(self):
+        store = WalStore(snapshot_every=8)
+        for i in range(100):
+            store.persist(_addr(i % 3), _state(i % 251), redundant=False)
+        assert store.compactions > 0
+        assert store.media.frame_count() <= max(8, 2 * 3)
+        store.crash()
+        result = store.reopen()
+        assert result.clean
+        assert set(result.states) == {_addr(0), _addr(1), _addr(2)}
+        # Last writes were i=97,98,99 -> addr 1, 2, 0.
+        assert result.states[_addr(0)].block[0] == 99 % 251
+        assert result.states[_addr(1)].block[0] == 97 % 251
+        assert result.states[_addr(2)].block[0] == 98 % 251
+
+
+class TestReplayProperties:
+    """Satellite property: replay is an idempotent, order-insensitive
+    fold, so any clean log prefix replays to the same state twice."""
+
+    def _random_records(self, rng: random.Random) -> list[tuple[int, dict]]:
+        records = []
+        for lsn in range(1, rng.randrange(5, 40)):
+            stripe = rng.randrange(4)
+            state = _state(
+                rng.randrange(256),
+                epoch=rng.randrange(4),
+                opmode=rng.choice([OpMode.NORM, OpMode.RECONS]),
+                recentlist={_entry(rng.randrange(50))},
+            )
+            records.append((lsn, state_to_record(_addr(stripe), state)))
+        return records
+
+    @staticmethod
+    def _key(states: dict) -> dict:
+        return {
+            addr: (
+                s.block.tobytes(),
+                s.opmode,
+                s.epoch,
+                frozenset(s.recentlist),
+                frozenset(s.oldlist),
+                s.recons_set,
+            )
+            for addr, s in states.items()
+        }
+
+    def test_fold_is_idempotent_and_order_insensitive(self):
+        rng = random.Random(1234)
+        for _ in range(25):
+            records = self._random_records(rng)
+            ordered = self._key(fold_records(records))
+            shuffled = list(records)
+            rng.shuffle(shuffled)
+            assert self._key(fold_records(shuffled)) == ordered
+            assert self._key(fold_records(records + records)) == ordered
+
+    def test_any_prefix_replays_identically_twice(self):
+        rng = random.Random(99)
+        records = self._random_records(rng)
+        frames = [encode_frame(lsn, rec) for lsn, rec in records]
+        for cut in range(len(frames) + 1):
+            prefix = frames[:cut]
+            header = records[cut - 1][0] if cut else 0
+            first = replay(prefix, header)
+            second = replay(prefix, header)
+            assert first.clean and second.clean
+            assert self._key(first.states) == self._key(second.states)
+
+    def test_torn_tail_dirty_but_prefix_before_it_clean(self):
+        rng = random.Random(7)
+        records = self._random_records(rng)
+        frames = [encode_frame(lsn, rec) for lsn, rec in records]
+        torn = frames[:-1] + [frames[-1][: len(frames[-1]) // 2]]
+        assert not replay(torn, records[-1][0]).clean
+        # Drop the damage and the log is a clean (shorter) history again.
+        assert replay(frames[:-1], records[-2][0]).clean
+
+    def test_lsn_gap_detected(self):
+        records = [
+            (1, state_to_record(_addr(0), _state(1))),
+            (3, state_to_record(_addr(1), _state(2))),
+        ]
+        frames = [encode_frame(lsn, rec) for lsn, rec in records]
+        result = replay(frames, 3)
+        assert not result.clean
+        assert "lost record" in result.reason
+
+    def test_header_ahead_of_log_detected(self):
+        frames = [encode_frame(1, state_to_record(_addr(), _state(1)))]
+        result = replay(frames, header_lsn=2)
+        assert not result.clean
+        assert "lost tail" in result.reason
+
+
+class TestSimMedia:
+    def test_unsynced_frames_vanish_on_crash(self):
+        media = SimMedia()
+        media.append(1, encode_frame(1, state_to_record(_addr(), _state(1))))
+        media.sync()
+        media.append(2, encode_frame(2, state_to_record(_addr(), _state(2))))
+        # no sync for lsn 2
+        media.crash()
+        frames, header = media.read()
+        assert len(frames) == 1 and header == 1
+
+    def test_rewrite_is_never_fault_exposed(self):
+        plan = MediaFaultPlan(seed=0, torn=1.0, exposure=8)
+        media = SimMedia(plan)
+        frames = [
+            (lsn, encode_frame(lsn, state_to_record(_addr(lsn), _state(lsn))))
+            for lsn in range(1, 4)
+        ]
+        media.rewrite(frames)
+        read, header = media.read()
+        assert header == 3
+        assert replay(read, header).clean
