@@ -8,8 +8,52 @@ reports — who wins, what grows, where curves flatten.
 
 from __future__ import annotations
 
+import json
+import os
+
 import numpy as np
 import pytest
+
+from repro.obs import Observability
+
+#: Session-wide result rows; flushed as BENCH JSON by
+#: ``pytest_sessionfinish`` when ``REPRO_BENCH_JSON`` names a path.
+_BENCH_RECORDS: list[dict] = []
+
+
+def bench_record(name: str, **fields: object) -> None:
+    """Append one row to the session's BENCH JSON."""
+    _BENCH_RECORDS.append({"bench": name, **fields})
+
+
+@pytest.fixture
+def bench_obs(request):
+    """Per-bench observability sinks (registry + tracer + flight).
+
+    On teardown any counters the bench's cluster accumulated are
+    embedded in the session's BENCH JSON under this bench's name, so a
+    saved run carries the protocol counters (RPC mix, retries,
+    recovery work) that explain its numbers.
+    """
+    obs = Observability.create()
+    yield obs
+    counters = obs.registry.snapshot().get("counters", [])
+    if counters:
+        bench_record(request.node.name, counters=counters)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path or not _BENCH_RECORDS:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"format": 1, "benches": _BENCH_RECORDS},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
 
 
 def print_table(title: str, header: list[str], rows: list[list]) -> None:

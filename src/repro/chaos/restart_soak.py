@@ -52,6 +52,7 @@ from repro.core.cluster import Cluster, RestartReport
 from repro.errors import ReproError
 from repro.net.chaos import FaultPlan
 from repro.net.message import diff_snapshots
+from repro.obs import Observability
 from repro.storage.wal import MediaFaultPlan, WalStore
 
 
@@ -98,6 +99,16 @@ class RestartSoakConfig:
     lost: float = 0.04
     exposure: int = 4
 
+    # -- observability ---------------------------------------------------
+    #: Attach a metrics registry + shared tracer to each policy's
+    #: cluster.  Safe to leave on: fault decisions and digests are
+    #: independent of it.
+    observe: bool = True
+    #: Directory for flight-recorder dumps (None disables dumping).  A
+    #: dump fires whenever a restart replays dirty (the node degrades
+    #: to INIT) and when a policy run ends not-ok.
+    flight_dir: str | None = None
+
 
 @dataclass
 class PolicyOutcome:
@@ -124,6 +135,15 @@ class PolicyOutcome:
     history_digest: str = ""
     ledger_digest: str = ""
     media_digest: str = ""
+    #: Registry snapshot (empty dict when the run was unobserved).
+    metrics: dict = field(default_factory=dict)
+    trace_events: int = 0
+    #: Ledger-vs-registry audit: None = not observed; True = the
+    #: ``chaos_faults_total`` counters match the chaos ledger exactly.
+    chaos_reconciled: bool | None = None
+    #: Flight-recorder dumps written during this run (dirty replays and
+    #: end-of-run failures).
+    flight_paths: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -132,6 +152,7 @@ class PolicyOutcome:
             and self.parity_clean
             and self.store_clean
             and self.op_failures == 0
+            and self.chaos_reconciled is not False
         )
 
 
@@ -217,6 +238,13 @@ class RestartSoakReport:
                 f"    digests: history={outcome.history_digest} "
                 f"ledger={outcome.ledger_digest} media={outcome.media_digest}"
             )
+            if outcome.chaos_reconciled is not None:
+                lines.append(
+                    f"    observability: trace events={outcome.trace_events} "
+                    f"ledger-vs-metrics reconciled={outcome.chaos_reconciled}"
+                )
+            for path in outcome.flight_paths:
+                lines.append(f"    flight recorder: {path}")
         if self.comparison_valid:
             lines.append(
                 f"  window-A repair bytes: restart={self.bytes_restart} "
@@ -268,6 +296,7 @@ def _run_policy(config: RestartSoakConfig, policy: str) -> PolicyOutcome:
         lost=config.lost,
         exposure=config.exposure,
     )
+    obs = Observability.create() if config.observe else None
     cluster = Cluster(
         k=config.k,
         n=config.n,
@@ -277,6 +306,7 @@ def _run_policy(config: RestartSoakConfig, policy: str) -> PolicyOutcome:
         store_factory=lambda slot: WalStore(
             plan=media_plan, tag=f"slot{slot}"
         ),
+        observability=obs,
     )
     client_config = ClientConfig(
         strategy=WriteStrategy.PARALLEL,
@@ -307,9 +337,29 @@ def _run_policy(config: RestartSoakConfig, policy: str) -> PolicyOutcome:
     def restore(cycle: int) -> list[int]:
         """End a downtime window; returns the stripes repaired."""
         if policy == "restart":
-            outcome.restart_reports.append(
-                cluster.restart_storage(config.crash_slot)
-            )
+            restart_report = cluster.restart_storage(config.crash_slot)
+            outcome.restart_reports.append(restart_report)
+            if (
+                not restart_report.clean
+                and obs is not None
+                and config.flight_dir
+            ):
+                # The node degraded to INIT: capture the trace ring and
+                # metrics as they stood at the moment of degradation.
+                outcome.flight_paths.append(
+                    obs.flight.dump(
+                        f"{config.flight_dir}/restart-soak-seed{config.seed}"
+                        f"-{policy}-degraded-cycle{cycle}.json",
+                        reason="dirty WAL replay degraded node to INIT",
+                        extra={
+                            "seed": config.seed,
+                            "policy": policy,
+                            "cycle": cycle,
+                            "slot": restart_report.slot,
+                            "replay_reason": restart_report.reason,
+                        },
+                    )
+                )
             report = monitor.sweep(all_stripes, deep=True)
             return report.recovered_stripes
         # Fail-remap: a bulk rebuild sweep reconstructs every stripe the
@@ -392,6 +442,32 @@ def _run_policy(config: RestartSoakConfig, policy: str) -> PolicyOutcome:
     outcome.media_digest = hashlib.sha256(
         repr(media_keys).encode()
     ).hexdigest()[:16]
+    if obs is not None:
+        ledger_counts = cluster.chaos.ledger_counts()
+        outcome.metrics = obs.registry.snapshot()
+        outcome.trace_events = obs.tracer.count()
+        outcome.chaos_reconciled = all(
+            obs.registry.counter_value("chaos_faults_total", kind=kind) == count
+            for kind, count in ledger_counts.items()
+        ) and sum(ledger_counts.values()) == obs.registry.sum_counter(
+            "chaos_faults_total"
+        )
+        if config.flight_dir and not outcome.ok:
+            outcome.flight_paths.append(
+                obs.flight.dump(
+                    f"{config.flight_dir}/restart-soak-seed{config.seed}"
+                    f"-{policy}-failed.json",
+                    reason=f"restart soak ({policy} policy) failed its "
+                    "invariants",
+                    extra={
+                        "seed": config.seed,
+                        "policy": policy,
+                        "violations": outcome.violations,
+                        "op_failures": outcome.op_failures,
+                        "store_mismatches": outcome.store_mismatches,
+                    },
+                )
+            )
     return outcome
 
 

@@ -37,6 +37,7 @@ from repro.client.scrub import Scrubber
 from repro.core.cluster import Cluster
 from repro.errors import ReproError
 from repro.net.chaos import FaultPlan
+from repro.obs import Observability
 from repro.storage.wal import WalStore
 
 
@@ -73,6 +74,14 @@ class SoakConfig:
     gray_stall: float = 5.0
     gray_window: tuple[int, int] = (8, 60)
 
+    # -- observability ---------------------------------------------------
+    #: Attach a metrics registry + shared tracer to the cluster.  Safe
+    #: to leave on: fault decisions and digests are independent of it.
+    observe: bool = True
+    #: Directory for a flight-recorder dump when the soak fails (None
+    #: disables dumping).
+    flight_dir: str | None = None
+
 
 @dataclass
 class SoakReport:
@@ -92,6 +101,13 @@ class SoakReport:
     rpc_timeouts: int = 0
     remaps: int = 0
     recoveries: int = 0
+    #: Registry snapshot (empty dict when the soak ran unobserved).
+    metrics: dict = field(default_factory=dict)
+    trace_events: int = 0
+    #: Ledger-vs-registry audit: None = not observed; True = the
+    #: ``chaos_faults_total`` counters match ``ledger_counts`` exactly.
+    chaos_reconciled: bool | None = None
+    flight_path: str | None = None
 
     @property
     def passed(self) -> bool:
@@ -100,6 +116,7 @@ class SoakReport:
             and self.parity_clean
             and self.store_clean
             and self.op_failures == 0
+            and self.chaos_reconciled is not False
         )
 
     def summary(self) -> str:
@@ -126,9 +143,18 @@ class SoakReport:
                 if self.store_mismatches
                 else ""
             ),
-            ("PASS" if self.passed else "FAIL")
-            + f" (reproduce with --seed {self.seed})",
         ]
+        if self.chaos_reconciled is not None:
+            lines.append(
+                f"  observability: trace events={self.trace_events} "
+                f"ledger-vs-metrics reconciled={self.chaos_reconciled}"
+            )
+        if self.flight_path:
+            lines.append(f"  flight recorder: {self.flight_path}")
+        lines.append(
+            ("PASS" if self.passed else "FAIL")
+            + f" (reproduce with --seed {self.seed})"
+        )
         return "\n".join(lines)
 
 
@@ -161,6 +187,7 @@ def run_soak(config: SoakConfig) -> SoakReport:
         # Durable nodes, fault-free media: the chaos soak exercises the
         # *network* fault axis; disk faults belong to the restart soak.
         store_factory = lambda slot: WalStore(tag=f"slot{slot}")  # noqa: E731
+    obs = Observability.create() if config.observe else None
     cluster = Cluster(
         k=config.k,
         n=config.n,
@@ -168,6 +195,7 @@ def run_soak(config: SoakConfig) -> SoakReport:
         seed=config.seed,
         chaos_plan=plan,
         store_factory=store_factory,
+        observability=obs,
     )
     client_config = ClientConfig(
         strategy=WriteStrategy.PARALLEL,
@@ -235,5 +263,28 @@ def run_soak(config: SoakConfig) -> SoakReport:
     report.recoveries = sum(
         v.protocol.stats.recoveries_completed for v in volumes
     )
+    if obs is not None:
+        report.metrics = obs.registry.snapshot()
+        report.trace_events = obs.tracer.count()
+        # The ChaosTransport mirrors every ledger append into
+        # ``chaos_faults_total{kind}``; any drift means instrumentation
+        # lost or double-counted a fault.
+        report.chaos_reconciled = all(
+            obs.registry.counter_value("chaos_faults_total", kind=kind) == count
+            for kind, count in report.ledger_counts.items()
+        ) and sum(report.ledger_counts.values()) == obs.registry.sum_counter(
+            "chaos_faults_total"
+        )
     report.duration = time.perf_counter() - started
+    if obs is not None and config.flight_dir and not report.passed:
+        report.flight_path = obs.flight.dump(
+            f"{config.flight_dir}/chaos-soak-seed{config.seed}.json",
+            reason="chaos soak failed its invariants",
+            extra={
+                "seed": config.seed,
+                "violations": report.violations,
+                "op_failures": report.op_failures,
+                "store_mismatches": report.store_mismatches,
+            },
+        )
     return report

@@ -14,6 +14,11 @@ Commands
                 mid-workload under combined network + disk faults, and
                 proves restart recovery moves strictly fewer bytes
                 than fail-remap rebuild
+``metrics``     run a small instrumented workload and print the metrics
+                registry (Prometheus exposition or JSON), or re-render
+                and validate a saved snapshot with ``--from``
+``trace-dump``  render causal span trees, either from a saved
+                flight-recorder file or from a freshly traced demo write
 """
 
 from __future__ import annotations
@@ -27,6 +32,18 @@ from repro.chaos.restart_soak import RestartSoakConfig, run_restart_soak
 from repro.chaos.soak import SoakConfig, run_soak
 from repro.client.config import WriteStrategy
 from repro.core.cluster import Cluster
+from repro.obs import (
+    Observability,
+    build_span_tree,
+    flight_events,
+    load_flight,
+    load_snapshot,
+    parse_exposition,
+    render_span_tree,
+    snapshot_to_json,
+    to_prometheus,
+    trace_ids,
+)
 from repro.sim.calibration import measure_costs
 from repro.sim.experiments import run_throughput
 from repro.sim.workload import WorkloadSpec
@@ -118,11 +135,17 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
         drop=args.drop,
         dup=args.dup,
         gray_stall=args.gray_stall,
+        observe=not args.no_observe,
+        flight_dir=args.flight_dir,
     )
     report = run_soak(config)
     print(report.summary())
     for violation in report.violations:
         print(f"  VIOLATION: {violation}")
+    if args.metrics_out and report.metrics:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(snapshot_to_json(report.metrics) + "\n")
+        print(f"  metrics snapshot: {args.metrics_out}")
     return 0 if report.passed else 1
 
 
@@ -145,6 +168,8 @@ def cmd_restart_soak(args: argparse.Namespace) -> int:
         lost=args.lost,
         drop=args.drop,
         dup=args.dup,
+        observe=not args.no_observe,
+        flight_dir=args.flight_dir,
     )
     report = run_restart_soak(config)
     print(report.summary())
@@ -153,7 +178,120 @@ def cmd_restart_soak(args: argparse.Namespace) -> int:
             print(f"  [{outcome.policy}] VIOLATION: {violation}")
         for mismatch in outcome.store_mismatches:
             print(f"  [{outcome.policy}] STORE MISMATCH: {mismatch}")
+    if args.metrics_out and report.restart and report.restart.metrics:
+        # The restart policy is the headline run; its snapshot is the
+        # artifact (the remap run's counters live in report.remap).
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(snapshot_to_json(report.restart.metrics) + "\n")
+        print(f"  metrics snapshot: {args.metrics_out}")
     return 0 if report.passed else 1
+
+
+def _demo_observed_workload(writes: int = 4) -> Observability:
+    """A small fully-instrumented workload: write/read a few blocks,
+    ride through one storage crash, and GC — enough to light up every
+    metric family and produce complete write span trees."""
+    obs = Observability.create()
+    cluster = Cluster(k=2, n=4, block_size=64, observability=obs)
+    volume = cluster.client("obs-demo")
+    for block in range(writes):
+        volume.write_block(block, f"obs demo block {block}".encode())
+    cluster.crash_storage(0)
+    for block in range(writes):
+        volume.read_block(block)
+    volume.collect_garbage()
+    return obs
+
+
+def _validate_snapshot(snapshot: dict) -> str:
+    """Render + parse the exposition; require live RPC counters.
+
+    Returns the exposition text; raises ``ValueError`` when the
+    snapshot is malformed or records no RPC traffic (the CI check for
+    artifacts captured by the soak jobs).
+    """
+    text = to_prometheus(snapshot)
+    series = parse_exposition(text)
+    rpc_total = sum(
+        value
+        for name, value in series.items()
+        if name.startswith("rpc_calls_total")
+    )
+    if rpc_total <= 0:
+        raise ValueError("snapshot records no rpc_calls_total traffic")
+    return text
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    if args.from_file:
+        try:
+            snapshot = load_snapshot(args.from_file)
+            exposition = _validate_snapshot(snapshot)
+        except (OSError, ValueError) as exc:
+            print(f"invalid metrics snapshot: {exc}", file=sys.stderr)
+            return 1
+    else:
+        snapshot = _demo_observed_workload().registry.snapshot()
+        exposition = _validate_snapshot(snapshot)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(snapshot_to_json(snapshot) + "\n")
+        print(f"wrote metrics snapshot: {args.out}")
+    if args.json:
+        print(snapshot_to_json(snapshot))
+    else:
+        print(exposition, end="")
+    return 0
+
+
+def cmd_trace_dump(args: argparse.Namespace) -> int:
+    if args.flight:
+        try:
+            flight = load_flight(args.flight)
+        except (OSError, ValueError) as exc:
+            print(f"invalid flight recording: {exc}", file=sys.stderr)
+            return 1
+        events = flight_events(flight)
+        print(
+            f"flight recording: reason={flight['reason']!r} "
+            f"events={len(events)} "
+            f"dropped={flight.get('dropped_trace_events', 0)}"
+        )
+    else:
+        obs = _demo_observed_workload(writes=2)
+        events = obs.tracer.events()
+        print(f"demo workload: {len(events)} trace events")
+    ids = trace_ids(events)
+    if args.trace:
+        ids = [t for t in ids if t == args.trace]
+        if not ids:
+            print(f"trace id {args.trace!r} not found", file=sys.stderr)
+            return 1
+    elif args.limit and len(ids) > args.limit:
+        print(f"({len(ids)} traces; showing last {args.limit}, "
+              f"use --trace ID or --limit 0 for more)")
+        ids = ids[-args.limit:]
+    for trace_id in ids:
+        tree = build_span_tree(events, trace_id)
+        if tree is not None:
+            print(render_span_tree(tree))
+    return 0
+
+
+def _add_observe_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-observe", action="store_true",
+        help="run without the metrics registry / tracer attached",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the final metrics snapshot as JSON "
+             "(readable back via 'repro metrics --from FILE')",
+    )
+    parser.add_argument(
+        "--flight-dir", metavar="DIR", default=None,
+        help="directory for flight-recorder dumps on failure/degradation",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -217,6 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--drop", type=float, default=0.04)
     soak.add_argument("--dup", type=float, default=0.06)
     soak.add_argument("--gray-stall", type=float, default=5.0)
+    _add_observe_args(soak)
     soak.set_defaults(func=cmd_chaos_soak)
 
     restart = sub.add_parser(
@@ -235,7 +374,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-frame lost-write probability at crash")
     restart.add_argument("--drop", type=float, default=0.02)
     restart.add_argument("--dup", type=float, default=0.04)
+    _add_observe_args(restart)
     restart.set_defaults(func=cmd_restart_soak)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="print a metrics registry (demo workload or saved snapshot)",
+    )
+    metrics.add_argument(
+        "--from", dest="from_file", metavar="FILE", default=None,
+        help="re-render (and validate) a saved JSON snapshot instead of "
+             "running the demo workload",
+    )
+    metrics.add_argument("--json", action="store_true",
+                         help="print the JSON snapshot, not exposition text")
+    metrics.add_argument("--out", metavar="FILE", default=None,
+                         help="also write the JSON snapshot to FILE")
+    metrics.set_defaults(func=cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace-dump", help="render causal span trees from trace events"
+    )
+    trace.add_argument(
+        "--flight", metavar="FILE", default=None,
+        help="read events from a flight-recorder dump instead of "
+             "running a traced demo write",
+    )
+    trace.add_argument("--trace", metavar="ID", default=None,
+                       help="render only this trace id")
+    trace.add_argument("--limit", type=int, default=5,
+                       help="max traces to render (0 = all; default 5)")
+    trace.set_defaults(func=cmd_trace_dump)
 
     calibrate = sub.add_parser("calibrate", help="measure kernel costs")
     calibrate.add_argument("--block-size", type=int, default=1024)

@@ -32,6 +32,7 @@ class GcManager:
     def __init__(self, client: ProtocolClient, max_attempts: int = 20):
         self.client = client
         self.max_attempts = max_attempts
+        self.source = f"gc:{client.client_id}"
         # old[stripe][j]: tids moved to oldlists last round, to discard next.
         self._old: dict[int, dict[int, set[Tid]]] = {}
         self._lock = threading.Lock()
@@ -82,6 +83,12 @@ class GcManager:
                 for j, tids in per.items():
                     existing.setdefault(j, set()).update(tids)
         self.rounds += 1
+        metrics = self.client.metrics
+        if metrics.enabled:
+            metrics.counter("gc_rounds_total").inc()
+            metrics.counter("gc_batches_total").inc(processed)
+        if processed and self.client.tracer.enabled:
+            self.client.tracer.emit(self.source, "gc.round", batches=processed)
         return processed
 
     def _phase(

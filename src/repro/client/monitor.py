@@ -57,6 +57,9 @@ class Monitor:
     def __init__(self, client: ProtocolClient, stale_after: float = 1.0):
         self.client = client
         self.stale_after = stale_after
+        #: Source tag for shared-tracer events, so a drained ring tells
+        #: monitor activity apart from the owning client's protocol ops.
+        self.source = f"monitor:{client.client_id}"
 
     def sweep(
         self, stripes: range | list[int], deep: bool = False
@@ -75,8 +78,29 @@ class Monitor:
                 report.delta_behind += 1
                 needs = True
             if needs:
+                if self.client.tracer.enabled:
+                    self.client.tracer.emit(
+                        self.source, "monitor.trigger_recovery", stripe=stripe
+                    )
                 self.client._start_recovery(stripe)
                 report.recovered_stripes.append(stripe)
+        metrics = self.client.metrics
+        if metrics.enabled:
+            metrics.counter("monitor_sweeps_total").inc()
+            metrics.counter("monitor_probes_total").inc(report.probed)
+            for kind, value in (
+                ("stale_write", report.stale_writes),
+                ("init_block", report.init_blocks),
+                ("expired_lock", report.expired_locks),
+                ("unreachable", report.unreachable),
+                ("timeout", report.timeouts),
+                ("delta_behind", report.delta_behind),
+            ):
+                if value:
+                    metrics.counter("monitor_findings_total", kind=kind).inc(value)
+            metrics.counter("monitor_recoveries_total").inc(
+                len(report.recovered_stripes)
+            )
         return report
 
     def _stripe_delta_behind(self, stripe: int) -> bool:

@@ -39,6 +39,8 @@ from repro.gf import field as gf
 from repro.ids import BlockAddr, Tid
 from repro.net.rpc import Deadline, NodeProxy, pfor
 from repro.net.transport import Transport
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.trace import TraceContext, TraceIdAllocator
 from repro.tracing import NULL_TRACER
 from repro.storage.node import BROADCAST_INDEX, VolumeMeta
 from repro.storage.state import (
@@ -66,11 +68,25 @@ class ClientStats:
     remaps: int = 0
     rpc_timeouts: int = 0  # RPCs that hit their deadline (gray/lossy net)
     suspicion_remaps: int = 0  # remaps triggered by repeated timeouts
+    degraded_reads: int = 0  # reads served by decode instead of recovery
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _mirror: object = field(default=None, repr=False)
+    _mirror_client: str = field(default="", repr=False)
+
+    def mirror_to(self, registry, client: str) -> None:
+        """Mirror every bump into ``client_<name>_total{client=...}`` so
+        existing call sites feed the registry with no further changes."""
+        self._mirror = registry
+        self._mirror_client = client
 
     def bump(self, name: str, amount: int = 1) -> None:
         with self._lock:
             setattr(self, name, getattr(self, name) + amount)
+        mirror = self._mirror
+        if mirror is not None and mirror.enabled:
+            mirror.counter(
+                f"client_{name}_total", client=self._mirror_client
+            ).inc(amount)
 
 
 class ProtocolClient:
@@ -94,6 +110,8 @@ class ProtocolClient:
         self.stats = ClientStats()
         # Structured tracing (repro.tracing.Tracer); no-op by default.
         self.tracer = NULL_TRACER
+        self.metrics = NULL_REGISTRY
+        self._trace_ids = TraceIdAllocator(client_id)
         self._seq = 0
         self._seq_lock = threading.Lock()
         self._recovering: set[int] = set()
@@ -111,6 +129,12 @@ class ProtocolClient:
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
+
+    def attach_observability(self, registry, tracer) -> None:
+        """Wire this client (and its stats mirror) into shared sinks."""
+        self.metrics = registry
+        self.tracer = tracer
+        self.stats.mirror_to(registry, self.client_id)
 
     @property
     def code(self):
@@ -167,15 +191,29 @@ class ProtocolClient:
             with self._suspicion_lock:
                 self._suspicion.pop(node_id, None)
 
-    def _call(self, stripe: int, index: int, op: str, *args, **kwargs):
+    def _call(
+        self,
+        stripe: int,
+        index: int,
+        op: str,
+        *args,
+        trace_ctx: TraceContext | None = None,
+        **kwargs,
+    ):
         """RPC to the node serving stripe position ``index``; on fail-stop
         detection, remap and re-raise so the caller enters recovery.
+
+        ``trace_ctx`` (when tracing) piggybacks on the request as the
+        ``_trace`` kwarg; the node pops it and emits the server-side
+        span event.
 
         A timeout is weaker evidence than a detected crash — the target
         may be gray, not dead — so remap waits for the suspicion
         threshold; the exception still propagates so the caller retries
         or goes degraded either way."""
         proxy = self._proxy(stripe, index)
+        if trace_ctx is not None:
+            kwargs["_trace"] = trace_ctx.wire()
         try:
             result = proxy.call(op, *args, **kwargs)
         except RpcTimeoutError as exc:
@@ -264,6 +302,7 @@ class ProtocolClient:
         available = {j: data[j].block for j in cset if data[j].block is not None}
         if len(available) < self.k:
             return None
+        self.stats.bump("degraded_reads")
         self.tracer.emit(self.client_id, "read.degraded", stripe=stripe,
                          index=index)
         return self.code.decode(available)[index]
@@ -283,41 +322,68 @@ class ProtocolClient:
                 f"got shape {value.shape}"
             )
         self.stats.bump("writes")
+        tracer = self.tracer
+        root: TraceContext | None = None
+        if tracer.enabled:
+            # Deterministic root span; every RPC of this write carries a
+            # child of it, so the whole operation reassembles as one tree.
+            root = self._trace_ids.new_trace("w")
+            tracer.emit(self.client_id, "write.begin", stripe=stripe,
+                        index=index, **root.to_detail())
         redundant = tuple(range(self.k, self.n))
         full = frozenset((index,) + redundant)
         deadline = Deadline.after(self.config.op_deadline)
         for _ in range(self.config.max_write_attempts):
             if deadline.expired():
+                if root is not None:
+                    tracer.emit(self.client_id, "write.abort", stripe=stripe,
+                                index=index, **root.to_detail())
                 raise WriteAbortedError(
                     f"write to stripe {stripe} block {index} exceeded its "
                     f"{self.config.op_deadline:g}s deadline budget"
                 )
             self.stats.bump("write_attempts")
             ntid = self._next_tid(index)
-            swap = self._swap_until_valid(stripe, index, value, ntid)
+            swap_ctx = self._trace_ids.child(root) if root is not None else None
+            swap = self._swap_until_valid(
+                stripe, index, value, ntid, trace_ctx=swap_ctx
+            )
             if swap is None:
                 continue  # recovery intervened; retry with a fresh tid
             diff = gf.sub_block(value, swap.block)  # v - w, to be scaled
             done = self._run_adds(
-                stripe, index, ntid, swap, diff, redundant
+                stripe, index, ntid, swap, diff, redundant,
+                trace_parent=swap_ctx,
             )
             if done == full:
                 self._note_completed(stripe, ntid, done)
+                if root is not None:
+                    tracer.emit(self.client_id, "write.end", stripe=stripe,
+                                index=index, **root.to_detail())
                 return
+        if root is not None:
+            tracer.emit(self.client_id, "write.abort", stripe=stripe,
+                        index=index, **root.to_detail())
         raise WriteAbortedError(
             f"write to stripe {stripe} block {index} exhausted "
             f"{self.config.max_write_attempts} attempts"
         )
 
     def _swap_until_valid(
-        self, stripe: int, index: int, value: np.ndarray, ntid: Tid
+        self,
+        stripe: int,
+        index: int,
+        value: np.ndarray,
+        ntid: Tid,
+        trace_ctx: TraceContext | None = None,
     ) -> SwapResult | None:
         """Fig. 5 lines 3-6: swap, running recovery when the node is out
         of service.  Returns None if attempts ran out this round."""
         addr = self._addr(stripe, index)
         for attempt in range(self.config.max_op_attempts):
             try:
-                swap = self._call(stripe, index, "swap", addr, value, ntid)
+                swap = self._call(stripe, index, "swap", addr, value, ntid,
+                                  trace_ctx=trace_ctx)
             except NodeUnavailableError:
                 self._start_recovery(stripe)
                 continue
@@ -337,6 +403,7 @@ class ProtocolClient:
         swap: SwapResult,
         diff: np.ndarray,
         redundant: tuple[int, ...],
+        trace_parent: TraceContext | None = None,
     ) -> frozenset[int]:
         """Fig. 5 lines 7-20: drive adds until done, retrying ORDER and
         handling failures.  Returns the set D of updated positions."""
@@ -348,7 +415,10 @@ class ProtocolClient:
         for spin in range(self.config.max_op_attempts):
             if not todo or not done:
                 break
-            results = self._issue_adds(stripe, ntid, otid, epoch, diff, todo)
+            results = self._issue_adds(
+                stripe, ntid, otid, epoch, diff, todo,
+                trace_parent=trace_parent,
+            )
             crashed: set[int] = set()
             normal: dict[int, AddResult] = {}
             for j, res in results.items():
@@ -396,6 +466,7 @@ class ProtocolClient:
         epoch: int,
         diff: np.ndarray,
         targets: set[int],
+        trace_parent: TraceContext | None = None,
     ) -> dict[int, AddResult | Exception]:
         """Dispatch adds per the configured strategy.
 
@@ -405,12 +476,21 @@ class ProtocolClient:
         """
         strategy = self.config.strategy
         if strategy is WriteStrategy.BROADCAST:
-            return self._broadcast_adds(stripe, ntid, otid, epoch, diff, targets)
+            return self._broadcast_adds(
+                stripe, ntid, otid, epoch, diff, targets,
+                trace_parent=trace_parent,
+            )
 
         def one(j: int) -> AddResult:
             payload = gf.mul_block(self.code.coefficient(j, ntid.index), diff)
+            ctx = (
+                self._trace_ids.child(trace_parent)
+                if trace_parent is not None
+                else None
+            )
             return self._call(
-                stripe, j, "add", self._addr(stripe, j), payload, ntid, otid, epoch
+                stripe, j, "add", self._addr(stripe, j), payload, ntid, otid,
+                epoch, trace_ctx=ctx,
             )
 
         ordered = sorted(targets)
@@ -441,13 +521,21 @@ class ProtocolClient:
         epoch: int,
         diff: np.ndarray,
         targets: set[int],
+        trace_parent: TraceContext | None = None,
     ) -> dict[int, AddResult | Exception]:
         addr = self._addr(stripe, BROADCAST_INDEX)
         by_node = {
             self.directory.node_id(self._slot(stripe, j)): j for j in sorted(targets)
         }
+        extra: dict[str, object] = {}
+        if trace_parent is not None:
+            # One frame leaves the client, so one child span covers all
+            # receivers; each node's event distinguishes itself by its
+            # ``node`` detail.
+            extra["_trace"] = self._trace_ids.child(trace_parent).wire()
         raw = self.transport.broadcast(
-            self.client_id, list(by_node), "add", addr, diff, ntid, otid, epoch
+            self.client_id, list(by_node), "add", addr, diff, ntid, otid, epoch,
+            **extra,
         )
         results: dict[int, AddResult | Exception] = {}
         for node_id, res in raw.items():
@@ -520,13 +608,29 @@ class ProtocolClient:
         back off); True once the stripe is reconstructed and unlocked.
         Raises :class:`DataLossError` when fewer than k consistent
         blocks exist (beyond the failure model)."""
+        metrics = self.metrics
+        start = time.monotonic()
         if not self._phase1_lock_all(stripe):
             return False
+        if metrics.enabled:
+            metrics.histogram(
+                "recovery_phase_seconds", phase="lock_all"
+            ).observe(time.monotonic() - start)
         try:
+            start = time.monotonic()
             data, cset = self._phase2_find_consistent(stripe)
+            if metrics.enabled:
+                metrics.histogram(
+                    "recovery_phase_seconds", phase="find_consistent"
+                ).observe(time.monotonic() - start)
             self.tracer.emit(self.client_id, "recovery.consistent_set",
                              stripe=stripe, cset=sorted(cset))
+            start = time.monotonic()
             self._phase3_reconstruct(stripe, data, cset)
+            if metrics.enabled:
+                metrics.histogram(
+                    "recovery_phase_seconds", phase="reconstruct"
+                ).observe(time.monotonic() - start)
         except Exception:
             # Leave locks in place only if we crashed for real; on a
             # clean error path unlock so the system is not wedged.
@@ -704,6 +808,10 @@ class ProtocolClient:
             raise NodeUnavailableError(f"slot for stripe {stripe} pos {j}")
 
         epochs = pfor(list(range(self.n)), write_back)
+        if self.metrics.enabled:
+            self.metrics.counter("recovery_reconstruct_bytes_total").inc(
+                sum(len(b) for b in blocks)
+            )
         numeric = [e for e in epochs.values() if isinstance(e, int)]
         if len(numeric) < self.n:
             failed = [j for j, e in epochs.items() if not isinstance(e, int)]

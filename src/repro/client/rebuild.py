@@ -61,6 +61,7 @@ class Rebuilder:
         self.client = client
         self.stripes_per_second = stripes_per_second
         self.progress = progress
+        self.source = f"rebuild:{client.client_id}"
         #: "probe" (cheap, catches INIT/EXP/unreachable — the fail-remap
         #: damage) or "delta" (additionally snapshots tid bookkeeping to
         #: catch a crash-restarted node that silently missed writes; the
@@ -101,6 +102,9 @@ class Rebuilder:
         """Sweep ``stripes``; returns a report.  Honors ``stop`` between
         stripes so a controller can abort a long rebuild."""
         report = RebuildReport()
+        tracer = self.client.tracer
+        if tracer.enabled:
+            tracer.emit(self.source, "rebuild.begin")
         start = time.perf_counter()
         pace = (
             1.0 / self.stripes_per_second
@@ -130,6 +134,24 @@ class Rebuilder:
                 if remaining > 0:
                     time.sleep(remaining)
         report.elapsed = time.perf_counter() - start
+        metrics = self.client.metrics
+        if metrics.enabled:
+            metrics.counter("rebuild_sweeps_total").inc()
+            metrics.counter("rebuild_stripes_examined_total").inc(report.examined)
+            metrics.counter("rebuild_stripes_recovered_total").inc(
+                len(report.recovered)
+            )
+            if report.failed:
+                metrics.counter("rebuild_stripes_failed_total").inc(
+                    len(report.failed)
+                )
+        if tracer.enabled:
+            tracer.emit(
+                self.source, "rebuild.end",
+                examined=report.examined,
+                recovered=len(report.recovered),
+                failed=len(report.failed),
+            )
         return report
 
     def rebuild_async(

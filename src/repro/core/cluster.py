@@ -24,6 +24,7 @@ from repro.ids import BlockAddr
 from repro.net.chaos import ChaosTransport, FaultPlan
 from repro.net.local import DelayModel, LocalTransport
 from repro.net.transport import Transport
+from repro.obs import Observability
 from repro.storage.node import StorageNode, VolumeMeta
 from repro.storage.server import InstrumentedServer
 from repro.storage.state import BlockState, OpMode
@@ -60,6 +61,7 @@ class Cluster:
         seed: int = 0,
         store_factory=None,
         chaos_plan: FaultPlan | None = None,
+        observability: Observability | None = None,
     ):
         self.code = ReedSolomonCode(k, n, construction)
         self.layout = StripeLayout(k, n, rotate=rotate)
@@ -75,6 +77,11 @@ class Cluster:
         if chaos_plan is not None:
             self.chaos = ChaosTransport(self.transport, chaos_plan)
             self.transport = self.chaos
+        #: Shared observability bundle (metrics + tracer + flight
+        #: recorder); None keeps every layer on its null sinks.
+        self.observability = observability
+        if observability is not None:
+            self.transport.metrics = observability.registry
         self.instrument = instrument
         self._seed = seed
         # Optional persistence backend per node, e.g.
@@ -121,6 +128,13 @@ class Cluster:
             store=store,
             restore=restore,
         )
+        obs = self.observability
+        if obs is not None:
+            node.metrics = obs.registry
+            node.tracer = obs.tracer
+            node.register_gauges(obs.registry)
+            if store is not None and hasattr(store, "metrics"):
+                store.metrics = obs.registry
         handler: StorageNode | InstrumentedServer = node
         if self.instrument:
             server = InstrumentedServer(node)
@@ -186,6 +200,10 @@ class Cluster:
             meta=self.volume_meta(volume),
             config=config,
         )
+        if self.observability is not None:
+            client.attach_observability(
+                self.observability.registry, self.observability.tracer
+            )
         with self._lock:
             self._clients[name] = client
         return client
@@ -278,6 +296,15 @@ class Cluster:
             store.reset()
             node = self._install_node(node_id, slot, fresh=True, store=store)
         self.directory.unpin(slot)
+        obs = self.observability
+        if obs is not None:
+            outcome = "clean" if result.clean else "dirty"
+            obs.registry.counter("node_restarts_total", outcome=outcome).inc()
+            if not result.clean:
+                obs.tracer.emit(
+                    "cluster", "node.degraded_init",
+                    slot=slot, node=node.node_id, reason=result.reason,
+                )
         return RestartReport(
             slot=slot,
             node_id=node.node_id,

@@ -250,6 +250,19 @@ class ChaosTransport(Transport):
     def _record(self, kind: str, src: str, dst: str, op: str, count: int) -> None:
         with self._chaos_lock:
             self.ledger.append(FaultEvent(kind, src, dst, op, count))
+        # Mirror the ledger into the registry 1:1 so a metrics snapshot
+        # reconciles exactly against ledger_counts() after a soak.
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.counter("chaos_faults_total", kind=kind).inc()
+
+    def _count_surfaced_timeout(self, op: str) -> None:
+        """Count a timeout this wrapper raises *instead of* delivering
+        (drop / gray-stall): the inner transport never sees the call,
+        so its instrumentation cannot."""
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.counter("rpc_calls_total", op=op, result="timeout").inc()
 
     def _next_count(self, src: str, dst: str) -> int:
         with self._chaos_lock:
@@ -262,6 +275,17 @@ class ChaosTransport(Transport):
     @property
     def stats(self):
         return self.inner.stats
+
+    @property
+    def metrics(self):
+        return self.inner.metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        # Instrumentation lives on the inner transport (delivered calls
+        # are counted there); the setter lets cluster wiring assign the
+        # registry to whichever transport is outermost.
+        self.inner.metrics = registry
 
     def register(self, node_id: str, handler: RpcHandler | None = None) -> None:
         self.inner.register(node_id, handler)
@@ -290,6 +314,20 @@ class ChaosTransport(Transport):
 
     # -- faulty messaging ----------------------------------------------------
 
+    def _call_impl(
+        self,
+        src: str,
+        dst: str,
+        op: str,
+        *args: object,
+        timeout: float | None = None,
+        **kwargs: object,
+    ) -> object:
+        # Satisfies the Transport ABC; unused, because call() below is
+        # overridden wholesale (faults must wrap the inner transport,
+        # whose own call() already carries the metrics instrumentation).
+        return self.inner.call(src, dst, op, *args, timeout=timeout, **kwargs)
+
     def call(
         self,
         src: str,
@@ -313,6 +351,7 @@ class ChaosTransport(Transport):
             self._record("drop", src, dst, op, count)
             wait = budget if budget is not None else self.plan.blackhole
             time.sleep(wait)
+            self._count_surfaced_timeout(op)
             raise RpcTimeoutError(dst, op, timeout)
 
         if decision.stall > 0.0:
@@ -323,6 +362,7 @@ class ChaosTransport(Transport):
                 # late-delivery case below.
                 self._record("stall_timeout", src, dst, op, count)
                 time.sleep(budget)
+                self._count_surfaced_timeout(op)
                 raise RpcTimeoutError(dst, op, timeout)
             self._record("stall", src, dst, op, count)
             time.sleep(decision.stall)
@@ -340,6 +380,7 @@ class ChaosTransport(Transport):
                 except NodeUnavailableError:
                     pass
                 self._record("late_delivery", src, dst, op, count)
+                self._count_surfaced_timeout(op)
                 raise RpcTimeoutError(dst, op, timeout)
             self._record("delay", src, dst, op, count)
             time.sleep(decision.delay)

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.errors import RpcTimeoutError
 from repro.net.message import estimate_size
-from repro.net.transport import RpcHandler, Transport
+from repro.net.transport import RpcHandler, Transport, classify_outcome as _classify
 
 
 @dataclass(frozen=True)
@@ -62,7 +62,7 @@ class LocalTransport(Transport):
         if seconds > 0:
             time.sleep(seconds)
 
-    def call(
+    def _call_impl(
         self,
         src: str,
         dst: str,
@@ -120,6 +120,9 @@ class LocalTransport(Transport):
         # One multicast frame on the wire, counted once (Fig. 1 counts
         # an AJX-bcast write as p+3 messages: 2 swap + 1 bcast + p acks).
         self.stats.record_request(op, request_size)
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.counter("rpc_broadcasts_total", op=op).inc()
         self._sleep(self.delay.one_way(request_size))
         results: dict[str, object] = {}
         for dst in dsts:
@@ -130,8 +133,14 @@ class LocalTransport(Transport):
                     result = handler.handle(op, *args, **kwargs)
             except Exception as exc:  # delivered per-destination
                 results[dst] = exc
+                if metrics.enabled:
+                    metrics.counter(
+                        "rpc_calls_total", op=op, result=_classify(exc)
+                    ).inc()
                 continue
             results[dst] = result
             self.stats.record_response(op, estimate_size(result))
+            if metrics.enabled:
+                metrics.counter("rpc_calls_total", op=op, result="ok").inc()
         self._sleep(self.delay.latency)
         return results

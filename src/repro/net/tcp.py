@@ -179,7 +179,7 @@ class TcpTransport(Transport):
             self._conns[key] = conn
         return conn, lock
 
-    def call(
+    def _call_impl(
         self,
         src: str,
         dst: str,

@@ -17,14 +17,33 @@ simulator.  The interface encodes the paper's failure model:
 from __future__ import annotations
 
 import threading
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterable
 
-from repro.errors import NodeUnavailableError, PartitionedError, UnknownNodeError
+from repro.errors import (
+    NodeUnavailableError,
+    PartitionedError,
+    RpcTimeoutError,
+    UnknownNodeError,
+)
 from repro.net.message import TrafficStats
+from repro.obs.metrics import NULL_REGISTRY
 
 #: Callback invoked with the id of a node that just crashed.
 FailureListener = Callable[[str], None]
+
+
+def classify_outcome(exc: BaseException) -> str:
+    """Metric ``result`` label for a failed RPC (order matters: the
+    timeout/partition classes subclass :class:`NodeUnavailableError`)."""
+    if isinstance(exc, RpcTimeoutError):
+        return "timeout"
+    if isinstance(exc, PartitionedError):
+        return "partitioned"
+    if isinstance(exc, NodeUnavailableError):
+        return "unavailable"
+    return "error"
 
 
 class RpcHandler(ABC):
@@ -40,6 +59,10 @@ class Transport(ABC):
 
     def __init__(self) -> None:
         self.stats = TrafficStats()
+        #: Observability sink; swapped for a live registry by the cluster
+        #: wiring.  Hot paths guard on ``metrics.enabled`` so the default
+        #: costs one attribute check per RPC.
+        self.metrics = NULL_REGISTRY
         self._lock = threading.RLock()
         self._handlers: dict[str, RpcHandler] = {}
         self._members: set[str] = set()
@@ -134,7 +157,6 @@ class Transport(ABC):
 
     # -- messaging ------------------------------------------------------------
 
-    @abstractmethod
     def call(
         self,
         src: str,
@@ -152,7 +174,47 @@ class Transport(ABC):
         (keyword-only, consumed by the transport — never forwarded to
         the remote handler).  ``None`` waits indefinitely, preserving
         the original fail-stop model where only crashes fail calls.
+
+        Concrete transports implement :meth:`_call_impl`; this wrapper
+        adds the per-method call/latency/outcome metrics so every
+        transport is instrumented identically.
         """
+        metrics = self.metrics
+        if not metrics.enabled:
+            return self._call_impl(src, dst, op, *args, timeout=timeout, **kwargs)
+        start = time.perf_counter()
+        result = "ok"
+        try:
+            return self._call_impl(src, dst, op, *args, timeout=timeout, **kwargs)
+        except RpcTimeoutError:
+            result = "timeout"
+            raise
+        except PartitionedError:
+            result = "partitioned"
+            raise
+        except NodeUnavailableError:
+            result = "unavailable"
+            raise
+        except Exception:
+            result = "error"
+            raise
+        finally:
+            metrics.counter("rpc_calls_total", op=op, result=result).inc()
+            metrics.histogram("rpc_latency_seconds", op=op).observe(
+                time.perf_counter() - start
+            )
+
+    @abstractmethod
+    def _call_impl(
+        self,
+        src: str,
+        dst: str,
+        op: str,
+        *args: object,
+        timeout: float | None = None,
+        **kwargs: object,
+    ) -> object:
+        """Transport-specific body of :meth:`call` (uninstrumented)."""
 
     def broadcast(
         self,

@@ -1,0 +1,183 @@
+"""Causal trace propagation: trace ids, span trees, wire piggybacking.
+
+The protocol already piggybacks ``otid`` on adds to order writes; this
+module piggybacks a *trace context* the same way, so a single client
+write is reconstructable — from drained :class:`~repro.tracing.Tracer`
+events alone — as a span tree: the client op at the root, the data-node
+swap beneath it, and every redundant-node add beneath the swap.
+
+Ids are **deterministic**: a client derives them from its own id and a
+private counter (never a clock, never an RNG), so traced soak runs stay
+reproducible and two runs of the same seeded workload allocate the same
+ids.
+
+Wire format: a ``_trace`` keyword argument carrying
+``(trace_id, span_id, parent_span)``.  Transports forward it like any
+other kwarg; :meth:`StorageNode.handle` pops it before dispatching and
+emits a ``node.<op>`` event tagged with the received span — the node
+side of the span is the event itself (storage ops are sub-millisecond;
+begin/end pairs would double the ring traffic for no decision value).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.tracing import TraceEvent
+
+#: Wire representation: (trace_id, span_id, parent_span).
+WireTrace = tuple[str, str, str | None]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """One span's identity within a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_span: str | None = None
+
+    def wire(self) -> WireTrace:
+        return (self.trace_id, self.span_id, self.parent_span)
+
+    def to_detail(self) -> dict[str, str | None]:
+        """Detail fields a tracer event should carry for this span."""
+        return {
+            "trace_id": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_span,
+        }
+
+
+class TraceIdAllocator:
+    """Deterministic per-component id source (thread-safe)."""
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+        self._trace_seq = itertools.count(1)
+        self._span_seq = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def new_trace(self, op: str) -> TraceContext:
+        """A fresh root span, e.g. ``c1:w3`` for client c1's third write."""
+        with self._lock:
+            n = next(self._trace_seq)
+        trace_id = f"{self.component}:{op}{n}"
+        return TraceContext(trace_id=trace_id, span_id=trace_id, parent_span=None)
+
+    def child(self, parent: TraceContext) -> TraceContext:
+        with self._lock:
+            n = next(self._span_seq)
+        return TraceContext(
+            trace_id=parent.trace_id,
+            span_id=f"{self.component}:s{n}",
+            parent_span=parent.span_id,
+        )
+
+
+@dataclass
+class Span:
+    """One reconstructed span: its events plus its children."""
+
+    trace_id: str
+    span_id: str
+    parent_span: str | None
+    events: list[TraceEvent] = field(default_factory=list)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        return self.events[0].kind if self.events else "?"
+
+    @property
+    def source(self) -> str:
+        return self.events[0].source if self.events else "?"
+
+    def walk(self):
+        """Depth-first iterator over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def trace_ids(events: list[TraceEvent]) -> list[str]:
+    """Distinct trace ids present in a batch of events, in first-seen
+    order (handy for sampling one write out of a soak's firehose)."""
+    seen: dict[str, None] = {}
+    for event in events:
+        tid = event.detail.get("trace_id")
+        if isinstance(tid, str):
+            seen.setdefault(tid, None)
+    return list(seen)
+
+
+def build_span_tree(events: list[TraceEvent], trace_id: str) -> Span | None:
+    """Reassemble one trace's span tree from drained events.
+
+    Events sharing a ``span`` detail collapse into one :class:`Span`;
+    parent links come from their ``parent`` detail.  Returns the root
+    span (``parent is None`` or parent unknown — a partial trace still
+    yields a tree rooted at the earliest orphan), or None when the
+    trace id does not appear at all.
+    """
+    spans: dict[str, Span] = {}
+    order: list[str] = []
+    for event in events:
+        if event.detail.get("trace_id") != trace_id:
+            continue
+        span_id = event.detail.get("span")
+        if not isinstance(span_id, str):
+            continue
+        span = spans.get(span_id)
+        if span is None:
+            parent = event.detail.get("parent")
+            span = spans[span_id] = Span(
+                trace_id=trace_id,
+                span_id=span_id,
+                parent_span=parent if isinstance(parent, str) else None,
+            )
+            order.append(span_id)
+        span.events.append(event)
+    if not spans:
+        return None
+    roots: list[Span] = []
+    for span_id in order:
+        span = spans[span_id]
+        parent = spans.get(span.parent_span) if span.parent_span else None
+        if parent is None or parent is span:
+            roots.append(span)
+        else:
+            parent.children.append(span)
+    if not roots:  # cycle (malformed input); fall back to first span
+        return spans[order[0]]
+    if len(roots) == 1:
+        return roots[0]
+    # Partial trace with several orphans: stitch under a synthetic root.
+    synthetic = Span(trace_id=trace_id, span_id=f"{trace_id}/partial",
+                     parent_span=None, children=roots)
+    return synthetic
+
+
+def render_span_tree(span: Span, indent: str = "") -> str:
+    """Human-readable tree, one line per span::
+
+        c1:w1 write.begin client=c1
+          c1:s1 node.swap node=storage-0
+            c1:s2 node.add node=storage-2
+    """
+    kinds = ",".join(
+        dict.fromkeys(e.kind for e in sorted(span.events, key=lambda e: e.timestamp))
+    )
+    extras = ""
+    for event in span.events:
+        node = event.detail.get("node")
+        if node is not None:
+            extras = f" node={node}"
+            break
+    line = f"{indent}{span.span_id} [{kinds}] source={span.source}{extras}"
+    lines = [line]
+    for child in sorted(span.children, key=lambda s: s.span_id):
+        lines.append(render_span_tree(child, indent + "  "))
+    return "\n".join(lines)

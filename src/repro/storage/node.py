@@ -35,6 +35,8 @@ from repro.gf import field
 from repro.ids import BlockAddr, Tid
 from repro.net.transport import RpcHandler
 from repro.errors import UnknownOperationError
+from repro.obs.metrics import NULL_REGISTRY
+from repro.tracing import NULL_TRACER
 from repro.storage.store import BlockStore
 from repro.storage.state import (
     AddResult,
@@ -115,6 +117,10 @@ class StorageNode(RpcHandler):
         self._clock = 0  # node-local logical time ("auto incremented")
         self._rng = np.random.default_rng(seed)
         self.op_counts: dict[str, int] = {}
+        #: Observability sinks, swapped in by cluster wiring; the
+        #: defaults cost one attribute check per request.
+        self.metrics = NULL_REGISTRY
+        self.tracer = NULL_TRACER
         if restore:
             # Crash-restart with durable state: adopt the replayed
             # images and resume the logical clock past every persisted
@@ -134,11 +140,38 @@ class StorageNode(RpcHandler):
     # ------------------------------------------------------------------
 
     def handle(self, op: str, *args: object, **kwargs: object) -> object:
+        # The trace context rides every instrumented RPC as a plain
+        # kwarg; pop it unconditionally so operation signatures stay
+        # trace-free (and an untraced node ignores it silently).
+        trace = kwargs.pop("_trace", None)
         if op not in self.OPERATIONS:
             raise UnknownOperationError(f"{self.node_id}: no operation {op!r}")
+        if self.metrics.enabled:
+            self.metrics.counter("node_ops_total", node=self.node_id, op=op).inc()
         with self._lock:
             self.op_counts[op] = self.op_counts.get(op, 0) + 1
-            return getattr(self, op)(*args, **kwargs)
+            result = getattr(self, op)(*args, **kwargs)
+        # Emit after releasing the node lock: the tracer has its own
+        # lock and the request is already served.
+        if trace is not None and self.tracer.enabled:
+            self._emit_trace(op, trace, result)
+        return result
+
+    def _emit_trace(self, op: str, trace: tuple, result: object) -> None:
+        """One ``node.<op>`` event carrying the span identity the caller
+        allocated, so span trees show the server-side half of each RPC."""
+        trace_id, span_id, parent = trace
+        detail: dict[str, object] = {
+            "trace_id": trace_id,
+            "span": span_id,
+            "parent": parent,
+            "node": self.node_id,
+        }
+        if isinstance(result, AddResult):
+            detail["status"] = result.status.name
+        elif isinstance(result, SwapResult):
+            detail["ok"] = result.block is not None
+        self.tracer.emit(f"node:{self.node_id}", f"node.{op}", **detail)
 
     def _meta(self, addr: BlockAddr) -> VolumeMeta:
         try:
@@ -253,6 +286,10 @@ class StorageNode(RpcHandler):
             # entry for the same tid and clobber the block; reject with
             # a locked-looking result the (already-answered) caller
             # would merely retry if it ever saw it.
+            if self.metrics.enabled:
+                self.metrics.counter(
+                    "node_replay_rejects_total", node=self.node_id, op="swap"
+                ).inc()
             return SwapResult(
                 block=None, epoch=state.epoch, otid=None, lmode=state.lmode
             )
@@ -276,15 +313,28 @@ class StorageNode(RpcHandler):
         addr, coeff = self._resolve(addr, ntid)
         state = self._state(addr)
         self._maybe_expire(state)
-        if (
-            state.opmode is not OpMode.NORM
-            or state.lmode not in (LockMode.UNL, LockMode.L0)
-            or e < state.epoch
+        if state.opmode is not OpMode.NORM or state.lmode not in (
+            LockMode.UNL,
+            LockMode.L0,
         ):
             return AddResult(
                 status=AddStatus.ERROR, opmode=state.opmode, lmode=state.lmode
             )
+        if e < state.epoch:
+            # Stale-epoch add: the writer read its layout before this
+            # block was reconstructed and finalized into a newer epoch.
+            if self.metrics.enabled:
+                self.metrics.counter(
+                    "node_epoch_rejects_total", node=self.node_id
+                ).inc()
+            return AddResult(
+                status=AddStatus.ERROR, opmode=state.opmode, lmode=state.lmode
+            )
         if otid is not None and otid not in tids(state.recentlist | state.oldlist):
+            if self.metrics.enabled:
+                self.metrics.counter(
+                    "node_order_rejects_total", node=self.node_id
+                ).inc()
             return AddResult(
                 status=AddStatus.ORDER, opmode=state.opmode, lmode=state.lmode
             )
@@ -293,6 +343,10 @@ class StorageNode(RpcHandler):
             # addition is not idempotent (applying the diff twice
             # corrupts the block), so acknowledge OK without touching
             # the state — idempotent from the network's point of view.
+            if self.metrics.enabled:
+                self.metrics.counter(
+                    "node_replay_rejects_total", node=self.node_id, op="add"
+                ).inc()
             return AddResult(
                 status=AddStatus.OK, opmode=state.opmode, lmode=state.lmode
             )
@@ -440,6 +494,30 @@ class StorageNode(RpcHandler):
     def block_count(self) -> int:
         with self._lock:
             return len(self._blocks)
+
+    def recentlist_entries(self) -> int:
+        """Total recentlist entries across all block slots (gauge feed:
+        growth here means GC is falling behind, §6.5)."""
+        with self._lock:
+            return sum(len(s.recentlist) for s in self._blocks.values())
+
+    def oldlist_entries(self) -> int:
+        with self._lock:
+            return sum(len(s.oldlist) for s in self._blocks.values())
+
+    def register_gauges(self, registry) -> None:
+        """Expose tid-list pressure and slot counts as lazy gauges —
+        evaluated only at snapshot time, so the write path pays nothing."""
+        node = self.node_id
+        registry.register_gauge(
+            "node_recentlist_entries", self.recentlist_entries, node=node
+        )
+        registry.register_gauge(
+            "node_oldlist_entries", self.oldlist_entries, node=node
+        )
+        registry.register_gauge(
+            "node_blocks_materialized", self.block_count, node=node
+        )
 
     def addresses(self) -> list[BlockAddr]:
         """Every block slot this node has materialized state for."""

@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.ids import BlockAddr, Tid
 from repro.net.chaos import _unit
+from repro.obs.metrics import NULL_REGISTRY
 from repro.storage.state import BlockState, LockMode, OpMode, TidEntry
 from repro.storage.store import BlockStore
 
@@ -366,6 +367,8 @@ class WalStore(BlockStore):
         self.media = media or SimMedia(plan, tag=tag)
         self.snapshot_every = snapshot_every
         self.compactions = 0
+        self.metrics = NULL_REGISTRY
+        self._metrics_tag = tag
         self._lsn = 0
         self._states: dict[BlockAddr, BlockState] = {}
         self._open = True
@@ -455,8 +458,14 @@ class WalStore(BlockStore):
             _, mirrored = record_to_state(record)
             self._states[addr] = mirrored
             live = len(self._states)
-        self.media.append(lsn, encode_frame(lsn, record))
+        frame = encode_frame(lsn, record)
+        self.media.append(lsn, frame)
         self.media.sync()  # sync-on-commit: acked implies durable
+        metrics = self.metrics
+        if metrics.enabled:
+            tag = self._metrics_tag
+            metrics.counter("wal_appends_total", media=tag).inc()
+            metrics.counter("wal_append_bytes_total", media=tag).inc(len(frame))
         if self.media.frame_count() >= max(self.snapshot_every, 2 * live):
             self._compact()
 
@@ -473,3 +482,10 @@ class WalStore(BlockStore):
                 frames.append((self._lsn, encode_frame(self._lsn, record)))
             self.compactions += 1
         self.media.rewrite(frames)
+        metrics = self.metrics
+        if metrics.enabled:
+            tag = self._metrics_tag
+            metrics.counter("wal_compactions_total", media=tag).inc()
+            metrics.counter(
+                "wal_compaction_bytes_total", media=tag
+            ).inc(sum(len(f) for _, f in frames))

@@ -44,6 +44,10 @@ class TraceEvent:
 class Tracer:
     """Bounded ring buffer of :class:`TraceEvent`."""
 
+    #: Hot paths branch on this (``if tracer.enabled: ...``) instead of
+    #: comparing against the NULL_TRACER singleton.
+    enabled = True
+
     def __init__(self, capacity: int = 4096, clock: Callable[[], float] | None = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -71,31 +75,87 @@ class Tracer:
         return [e for e in snapshot if e.kind.startswith(kind_prefix)]
 
     def drain(self) -> list[TraceEvent]:
-        """Return and clear all buffered events."""
+        """Return and clear all buffered events; overflow accounting
+        (``dropped``) resets with the buffer so each drained batch is
+        audited against its own losses."""
         with self._lock:
             snapshot = list(self._events)
             self._events.clear()
+            self.dropped = 0
         return snapshot
 
     def count(self, kind_prefix: str = "") -> int:
         return len(self.events(kind_prefix or None))
 
-    def spans(self, start_kind: str, end_kind: str) -> Iterator[float]:
-        """Durations between consecutive start/end event pairs from the
-        same source (e.g. recovery.begin -> recovery.end)."""
-        open_starts: dict[str, float] = {}
+    def spans(
+        self,
+        start_kind: str,
+        end_kind: str,
+        cancel_kinds: tuple[str, ...] = (),
+    ) -> Iterator[float]:
+        """Durations between matched start/end event pairs from the same
+        source (e.g. ``recovery.begin`` -> ``recovery.end``).
+
+        Pairing is detail-aware: an end event matches the most recent
+        open start from its source whose detail fields agree on every
+        shared key (so two interleaved recoveries of different stripes
+        by one client pair correctly instead of clobbering each other).
+        Events of a ``cancel_kinds`` kind close their matching start
+        without yielding a duration — pass ``("recovery.yield",)`` so a
+        lost lock race does not leak an open start that would mispair
+        the next end.
+        """
+        cancels = set(cancel_kinds)
+        open_by_source: dict[str, list[TraceEvent]] = {}
         for event in self.events():
             if event.kind == start_kind:
-                open_starts[event.source] = event.timestamp
-            elif event.kind == end_kind and event.source in open_starts:
-                yield event.timestamp - open_starts.pop(event.source)
+                open_by_source.setdefault(event.source, []).append(event)
+            elif event.kind == end_kind or event.kind in cancels:
+                stack = open_by_source.get(event.source)
+                if not stack:
+                    continue
+                idx = len(stack) - 1  # LIFO fallback when nothing agrees
+                for i in range(len(stack) - 1, -1, -1):
+                    shared = stack[i].detail.keys() & event.detail.keys()
+                    if all(stack[i].detail[k] == event.detail[k] for k in shared):
+                        idx = i
+                        break
+                start = stack.pop(idx)
+                if event.kind == end_kind:
+                    yield event.timestamp - start.timestamp
 
 
 class NullTracer:
-    """The default no-op tracer (shared singleton)."""
+    """The default no-op tracer (shared singleton).
+
+    Implements the full :class:`Tracer` read surface so code handed a
+    disabled tracer can still call ``events``/``drain``/``count``/
+    ``spans`` without crashing — everything reports empty.
+    """
+
+    enabled = False
+    capacity = 0
+    dropped = 0
 
     def emit(self, source: str, kind: str, **detail: object) -> None:
         pass
+
+    def events(self, kind_prefix: str | None = None) -> list[TraceEvent]:
+        return []
+
+    def drain(self) -> list[TraceEvent]:
+        return []
+
+    def count(self, kind_prefix: str = "") -> int:
+        return 0
+
+    def spans(
+        self,
+        start_kind: str,
+        end_kind: str,
+        cancel_kinds: tuple[str, ...] = (),
+    ) -> Iterator[float]:
+        return iter(())
 
 
 NULL_TRACER = NullTracer()

@@ -1,0 +1,133 @@
+"""Observability under the soak harnesses: reconciliation + inertness.
+
+Two acceptance properties live here:
+
+* the registry's ``chaos_faults_total`` counters reconcile *exactly*
+  with the chaos transport's injected-fault ledger, and the surfaced
+  RPC timeout counters equal the timeout-surfacing fault kinds;
+* attaching the whole observability stack changes no soak digest —
+  instrumentation is invisible to the seeded protocol run.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.restart_soak import RestartSoakConfig, _run_policy
+from repro.chaos.soak import SoakConfig, run_soak
+
+
+def small_config(seed: int = 7, **overrides) -> SoakConfig:
+    defaults = dict(
+        seed=seed,
+        ops=60,
+        clients=2,
+        k=2,
+        n=4,
+        block_size=64,
+        blocks=8,
+        rpc_timeout=0.05,
+        gray_stall=2.0,
+    )
+    defaults.update(overrides)
+    return SoakConfig(**defaults)
+
+
+class TestLedgerReconciliation:
+    def test_chaos_counters_match_ledger_exactly(self):
+        report = run_soak(small_config(seed=7))
+        assert report.passed, report.summary()
+        assert report.chaos_reconciled is True
+        assert sum(report.ledger_counts.values()) > 0
+        # Every injected kind appears as a chaos_faults_total series.
+        kinds = {
+            row["labels"]["kind"]: row["value"]
+            for row in report.metrics["counters"]
+            if row["name"] == "chaos_faults_total"
+        }
+        assert kinds == report.ledger_counts
+
+    def test_rpc_timeout_counters_match_surfaced_faults(self):
+        """With the soak's zero-delay inner transport, every surfaced
+        RPC timeout is chaos-made: drop, stall_timeout, late_delivery."""
+        report = run_soak(small_config(seed=7))
+        timeouts = sum(
+            row["value"]
+            for row in report.metrics["counters"]
+            if row["name"] == "rpc_calls_total"
+            and row["labels"].get("result") == "timeout"
+        )
+        surfaced = sum(
+            report.ledger_counts.get(kind, 0)
+            for kind in ("drop", "stall_timeout", "late_delivery")
+        )
+        assert timeouts == surfaced
+
+    def test_trace_ring_and_metrics_populated(self):
+        report = run_soak(small_config(seed=7))
+        assert report.trace_events > 0
+        names = {row["name"] for row in report.metrics["counters"]}
+        assert "rpc_calls_total" in names
+        assert "node_ops_total" in names
+        assert "client_writes_total" in names
+        hist_names = {row["name"] for row in report.metrics["histograms"]}
+        assert "rpc_latency_seconds" in hist_names
+
+
+class TestObservabilityIsInert:
+    def test_chaos_soak_digests_identical_observe_on_off(self):
+        observed = run_soak(small_config(seed=7, observe=True))
+        blind = run_soak(small_config(seed=7, observe=False))
+        assert observed.history_digest == blind.history_digest
+        assert observed.ledger_digest == blind.ledger_digest
+        assert observed.ledger_counts == blind.ledger_counts
+        assert blind.chaos_reconciled is None
+        assert blind.metrics == {}
+
+    def test_restart_policy_digests_identical_observe_on_off(self):
+        config = dict(
+            seed=11, ops=80, blocks=20, window_a=(20, 28), window_b=(52, 60)
+        )
+        observed = _run_policy(
+            RestartSoakConfig(observe=True, **config), "restart"
+        )
+        blind = _run_policy(
+            RestartSoakConfig(observe=False, **config), "restart"
+        )
+        assert observed.history_digest == blind.history_digest
+        assert observed.ledger_digest == blind.ledger_digest
+        assert observed.media_digest == blind.media_digest
+        assert observed.chaos_reconciled is True
+
+
+class TestFlightRecorderOnFailure:
+    def test_no_dump_when_soak_passes(self, tmp_path):
+        report = run_soak(small_config(seed=7, flight_dir=str(tmp_path)))
+        assert report.passed
+        assert report.flight_path is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_dirty_restart_replay_dumps_flight(self, tmp_path):
+        """Cycle B of the restart soak forces a torn WAL tail: the node
+        degrades to INIT and the recorder captures the moment."""
+        from repro.obs import flight_events, load_flight
+
+        outcome = _run_policy(
+            RestartSoakConfig(
+                seed=11,
+                ops=80,
+                blocks=20,
+                window_a=(20, 28),
+                window_b=(52, 60),
+                flight_dir=str(tmp_path),
+            ),
+            "restart",
+        )
+        assert outcome.ok
+        assert len(outcome.flight_paths) == 1
+        data = load_flight(outcome.flight_paths[0])
+        assert data["reason"] == "dirty WAL replay degraded node to INIT"
+        assert data["extra"]["policy"] == "restart"
+        assert data["extra"]["cycle"] == 1
+        events = flight_events(data)
+        assert events, "flight must carry the trace ring"
+        assert any(e.kind == "node.degraded_init" for e in events)
+        assert data["metrics"]["counters"], "flight must carry metrics"

@@ -48,6 +48,62 @@ class TestCli:
         assert "injected faults" in out
         assert "--seed 7" in out
 
+    def test_metrics_demo_workload(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE rpc_calls_total counter" in out
+        assert "node_ops_total" in out
+
+    def test_metrics_snapshot_roundtrip(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        assert main(["metrics", "--out", str(snap), "--json"]) == 0
+        assert '"counters"' in capsys.readouterr().out
+        assert main(["metrics", "--from", str(snap)]) == 0
+        assert "rpc_calls_total" in capsys.readouterr().out
+
+    def test_metrics_rejects_malformed_snapshot(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["metrics", "--from", str(bad)]) == 1
+        assert "invalid metrics snapshot" in capsys.readouterr().err
+
+    def test_trace_dump_demo_write(self, capsys):
+        assert main(["trace-dump"]) == 0
+        out = capsys.readouterr().out
+        assert "write.begin" in out
+        assert "node.swap" in out
+        assert "node.add" in out
+
+    def test_trace_dump_flight_file(self, tmp_path, capsys):
+        from repro.obs import Observability
+
+        obs = Observability.create()
+        ctx = obs.tracer  # one tiny synthetic trace
+        ctx.emit("c9", "write.begin", trace_id="c9:w1", span="c9:w1")
+        ctx.emit("c9", "write.end", trace_id="c9:w1", span="c9:w1")
+        path = tmp_path / "flight.json"
+        obs.flight.dump(str(path), reason="unit test")
+        assert main(["trace-dump", "--flight", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "reason='unit test'" in out
+        assert "c9:w1" in out
+
+    def test_chaos_soak_observed_artifacts(self, tmp_path, capsys):
+        snap = tmp_path / "metrics.json"
+        assert main([
+            "chaos-soak", "--seed", "7", "--smoke",
+            "--metrics-out", str(snap), "--flight-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ledger-vs-metrics reconciled=True" in out
+        assert snap.exists()
+
+    def test_chaos_soak_no_observe(self, capsys):
+        assert main(["chaos-soak", "--seed", "7", "--smoke", "--no-observe"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "ledger-vs-metrics" not in out
+
     def test_calibrate(self, capsys):
         assert main(["calibrate", "--repeats", "10"]) == 0
         out = capsys.readouterr().out

@@ -72,8 +72,80 @@ class TestTracer:
         event = TraceEvent(1.0, "c", "remap", {"slot": 2})
         assert "remap" in str(event) and "slot=2" in str(event)
 
+    def test_drain_resets_dropped(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit("c", "tick", i=i)
+        assert tracer.dropped == 3
+        assert len(tracer.drain()) == 2
+        assert tracer.dropped == 0
+        tracer.emit("c", "tick", i=9)
+        assert tracer.dropped == 0  # fresh batch, fresh accounting
+
+
+class TestSpanPairing:
+    def test_interleaved_spans_pair_by_detail(self):
+        """Two overlapping recoveries of different stripes must pair
+        begin/end by stripe, not clobber each other LIFO-style."""
+        times = iter([0.0, 1.0, 5.0, 9.0])
+        tracer = Tracer(clock=lambda: next(times))
+        tracer.emit("c", "recovery.begin", stripe=1)
+        tracer.emit("c", "recovery.begin", stripe=2)
+        tracer.emit("c", "recovery.end", stripe=1)
+        tracer.emit("c", "recovery.end", stripe=2)
+        assert list(tracer.spans("recovery.begin", "recovery.end")) == [
+            5.0,  # stripe 1: 5.0 - 0.0
+            8.0,  # stripe 2: 9.0 - 1.0
+        ]
+
+    def test_unbalanced_end_is_ignored(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.emit("c", "recovery.end", stripe=1)
+        tracer.emit("c", "recovery.begin", stripe=1)
+        assert list(tracer.spans("recovery.begin", "recovery.end")) == []
+
+    def test_sources_pair_independently(self):
+        times = iter([0.0, 1.0, 2.0, 4.0])
+        tracer = Tracer(clock=lambda: next(times))
+        tracer.emit("a", "recovery.begin")
+        tracer.emit("b", "recovery.begin")
+        tracer.emit("b", "recovery.end")
+        tracer.emit("a", "recovery.end")
+        assert list(tracer.spans("recovery.begin", "recovery.end")) == [1.0, 4.0]
+
+    def test_cancel_kind_closes_without_yield(self):
+        times = iter([0.0, 1.0, 2.0, 3.0])
+        tracer = Tracer(clock=lambda: next(times))
+        tracer.emit("c", "recovery.begin", stripe=1)
+        tracer.emit("c", "recovery.yield", stripe=1)
+        tracer.emit("c", "recovery.begin", stripe=1)
+        tracer.emit("c", "recovery.end", stripe=1)
+        # The yielded attempt contributes no duration; the second
+        # attempt pairs with the end instead of the stale first begin.
+        assert list(
+            tracer.spans(
+                "recovery.begin", "recovery.end", cancel_kinds=("recovery.yield",)
+            )
+        ) == [1.0]
+
+
+class TestNullTracerParity:
+    """NULL_TRACER exposes the full Tracer read surface (reports empty)."""
+
+    def test_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.capacity == 0
+        assert NULL_TRACER.dropped == 0
+
     def test_null_tracer_is_silent(self):
         NULL_TRACER.emit("c", "anything", x=1)  # must not raise
+        assert NULL_TRACER.events() == []
+        assert NULL_TRACER.events("write.") == []
+        assert NULL_TRACER.drain() == []
+        assert NULL_TRACER.count() == 0
+        assert NULL_TRACER.count("write.") == 0
+        assert list(NULL_TRACER.spans("a", "b")) == []
+        assert list(NULL_TRACER.spans("a", "b", cancel_kinds=("c",))) == []
 
 
 class TestProtocolIntegration:
