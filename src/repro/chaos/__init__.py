@@ -1,5 +1,12 @@
 """Chaos engineering harnesses: seeded soak testing under injected faults."""
 
+from repro.chaos.gray_soak import (
+    GrayPhaseResult,
+    GraySoakConfig,
+    GraySoakReport,
+    OverloadResult,
+    run_gray_soak,
+)
 from repro.chaos.restart_soak import (
     PolicyOutcome,
     RestartSoakConfig,
@@ -9,11 +16,16 @@ from repro.chaos.restart_soak import (
 from repro.chaos.soak import SoakConfig, SoakReport, run_soak
 
 __all__ = [
+    "GrayPhaseResult",
+    "GraySoakConfig",
+    "GraySoakReport",
+    "OverloadResult",
     "PolicyOutcome",
     "RestartSoakConfig",
     "RestartSoakReport",
     "SoakConfig",
     "SoakReport",
+    "run_gray_soak",
     "run_restart_soak",
     "run_soak",
 ]

@@ -14,6 +14,10 @@ Commands
                 mid-workload under combined network + disk faults, and
                 proves restart recovery moves strictly fewer bytes
                 than fail-remap rebuild
+``gray-soak``   gray-node soak: the same seeded read workload against
+                the same stalled-node fault plan, hedged vs un-hedged,
+                proving hedged reads cut p99 with reproducible digests
+                (plus an admission-control overload burst)
 ``metrics``     run a small instrumented workload and print the metrics
                 registry (Prometheus exposition or JSON), or re-render
                 and validate a saved snapshot with ``--from``
@@ -28,6 +32,7 @@ import sys
 
 from repro.analysis.resiliency import resiliency_profile
 from repro.baselines.costs import format_cost_table
+from repro.chaos.gray_soak import GraySoakConfig, run_gray_soak
 from repro.chaos.restart_soak import RestartSoakConfig, run_restart_soak
 from repro.chaos.soak import SoakConfig, run_soak
 from repro.client.config import WriteStrategy
@@ -142,6 +147,34 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
     print(report.summary())
     for violation in report.violations:
         print(f"  VIOLATION: {violation}")
+    if args.metrics_out and report.metrics:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(snapshot_to_json(report.metrics) + "\n")
+        print(f"  metrics snapshot: {args.metrics_out}")
+    return 0 if report.passed else 1
+
+
+def cmd_gray_soak(args: argparse.Namespace) -> int:
+    if args.reads is not None:
+        reads = args.reads
+    else:
+        reads = 60 if args.smoke else 160
+    config = GraySoakConfig(
+        seed=args.seed,
+        reads=reads,
+        k=args.k,
+        n=args.n,
+        block_size=args.block_size,
+        blocks=args.blocks,
+        stall=args.stall,
+        hedge_delay=args.hedge_delay,
+        rpc_timeout=args.rpc_timeout,
+        overload=not args.no_overload,
+        observe=not args.no_observe,
+        flight_dir=args.flight_dir,
+    )
+    report = run_gray_soak(config)
+    print(report.summary())
     if args.metrics_out and report.metrics:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(snapshot_to_json(report.metrics) + "\n")
@@ -376,6 +409,29 @@ def build_parser() -> argparse.ArgumentParser:
     restart.add_argument("--dup", type=float, default=0.04)
     _add_observe_args(restart)
     restart.set_defaults(func=cmd_restart_soak)
+
+    gray = sub.add_parser(
+        "gray-soak",
+        help="gray-node soak: hedged vs un-hedged read tail latency",
+    )
+    gray.add_argument("--seed", type=int, default=23)
+    gray.add_argument("--reads", type=int, default=None,
+                      help="reads per phase run (default 160; 60 with --smoke)")
+    gray.add_argument("--smoke", action="store_true",
+                      help="short CI-sized run")
+    gray.add_argument("--k", type=int, default=2)
+    gray.add_argument("--n", type=int, default=4)
+    gray.add_argument("--block-size", type=int, default=64)
+    gray.add_argument("--blocks", type=int, default=12)
+    gray.add_argument("--stall", type=float, default=0.08,
+                      help="gray node's read-path stall, seconds")
+    gray.add_argument("--hedge-delay", type=float, default=0.02,
+                      help="fixed hedging delay, seconds")
+    gray.add_argument("--rpc-timeout", type=float, default=1.0)
+    gray.add_argument("--no-overload", action="store_true",
+                      help="skip the admission-control overload burst")
+    _add_observe_args(gray)
+    gray.set_defaults(func=cmd_gray_soak)
 
     metrics = sub.add_parser(
         "metrics",

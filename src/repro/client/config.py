@@ -65,9 +65,34 @@ class ClientConfig:
     #: WriteAbortedError rather than spinning on a sick stripe.
     op_deadline: float | None = None
     #: Consecutive RPC timeouts from one node before the client stops
-    #: suspecting and starts *believing*: the node is remapped and
-    #: recovery runs, exactly as for a detected fail-stop crash.
+    #: suspecting and starts *believing*: the circuit breaker opens,
+    #: the node is remapped and recovery runs, exactly as for a
+    #: detected fail-stop crash (the breaker's trip threshold).
     suspicion_threshold: int = 3
+    #: While a node's circuit is open, calls fail fast; every this-many
+    #: blocked attempts one probe is admitted (half-open).  Counted in
+    #: attempts, not wall time, so seeded workloads stay deterministic.
+    breaker_probe_interval: int = 8
+    #: Retries a NodeBusyError (server-side admission shed) is given
+    #: inside ``_call`` with jittered backoff before it propagates.
+    busy_retry_limit: int = 8
+
+    #: Cluster-wide retry budget: max outstanding retry tokens (None =
+    #: unlimited, the historical behaviour).  Each retry/hedge spends a
+    #: token; each successful first attempt deposits ``retry_budget_refill``
+    #: back, so a permanently-gray node cannot amplify load unboundedly.
+    retry_budget: float | None = None
+    retry_budget_refill: float = 0.1
+
+    #: Hedged degraded reads: when the data node has not answered
+    #: within the hedging delay, race a k-of-n reconstruct against it
+    #: and take the first winner (tail-latency defense for gray nodes).
+    hedged_reads: bool = False
+    #: Explicit hedging delay in seconds; None derives it from the
+    #: node's health EWMA (``multiplier`` x typical latency, floored).
+    hedge_delay: float | None = None
+    hedge_delay_floor: float = 0.005
+    hedge_delay_multiplier: float = 4.0
 
     #: Extension beyond the paper: when a read hits an out-of-service
     #: block, first try to *decode* the value from the surviving blocks
@@ -78,5 +103,9 @@ class ClientConfig:
     degraded_reads: bool = False
 
     def backoff_for(self, attempt: int) -> float:
-        """Exponential backoff with a cap; attempt is 0-based."""
+        """Deterministic exponential backoff with a cap; attempt is
+        0-based.  Retry loops now sleep via the client's jittered
+        :class:`~repro.net.backpressure.BackoffPolicy` instead (this
+        remains the upper envelope and is kept for callers that need a
+        jitter-free bound)."""
         return min(self.backoff * (2 ** min(attempt, 10)), self.backoff_cap)

@@ -21,7 +21,7 @@ from __future__ import annotations
 import threading
 
 from repro.client.protocol import ProtocolClient
-from repro.errors import NodeUnavailableError, RpcTimeoutError
+from repro.errors import NodeBusyError, NodeUnavailableError, RpcTimeoutError
 from repro.ids import Tid
 from repro.net.rpc import pfor
 
@@ -106,6 +106,10 @@ class GcManager:
                     result = self.client._call(
                         stripe, j, op, addr, sorted(batches[j], key=str)
                     )
+                except NodeBusyError:
+                    # Shed by admission control: the node is fine, just
+                    # overloaded; roll the batch over to the next round.
+                    return False
                 except RpcTimeoutError:
                     # Slow, not provably gone: the node's lists survive,
                     # so the batch must roll over and retry next round

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 
 from repro.client.consistency import find_consistent
 from repro.client.protocol import ProtocolClient
-from repro.errors import NodeUnavailableError, RpcTimeoutError
+from repro.errors import NodeBusyError, NodeUnavailableError, RpcTimeoutError
 from repro.storage.state import LockMode, OpMode, StateSnapshot
 
 
@@ -47,6 +47,7 @@ class MonitorReport:
     expired_locks: int = 0
     unreachable: int = 0
     timeouts: int = 0  # probes that hit their RPC deadline (gray node?)
+    busy: int = 0  # probes shed by admission control (overload, not damage)
     delta_behind: int = 0  # deep check: restarted node missing writes
     recovered_stripes: list[int] = field(default_factory=list)
 
@@ -94,6 +95,7 @@ class Monitor:
                 ("expired_lock", report.expired_locks),
                 ("unreachable", report.unreachable),
                 ("timeout", report.timeouts),
+                ("busy", report.busy),
                 ("delta_behind", report.delta_behind),
             ):
                 if value:
@@ -115,6 +117,8 @@ class Monitor:
                 data[j] = client._call(
                     stripe, j, "get_state", client._addr(stripe, j)
                 )
+            except NodeBusyError:
+                return False  # overloaded != degraded; check next sweep
             except NodeUnavailableError:
                 return True  # unreachable mid-check: clearly degraded
         cset = find_consistent(data, client.k)
@@ -127,6 +131,12 @@ class Monitor:
             report.probed += 1
             try:
                 opmode, lmode, age = self.client._call(stripe, j, "probe", addr)
+            except NodeBusyError:
+                # Overload is explicitly NOT damage: a busy node is
+                # alive and consistent.  Starting recovery here would
+                # add reconstruction traffic on top of the overload.
+                report.busy += 1
+                continue
             except RpcTimeoutError:
                 # Suspected only: the node may be gray.  Recovery is
                 # still warranted — the stripe is effectively degraded

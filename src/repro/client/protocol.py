@@ -19,17 +19,22 @@ operation retries.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.client.config import ClientConfig, WriteStrategy
 from repro.client.consistency import find_consistent
+from repro.client.health import HealthRegistry
 from repro.directory import Directory
 from repro.errors import (
+    CircuitOpenError,
     DataLossError,
+    NodeBusyError,
     NodeUnavailableError,
     ReadFailedError,
     RpcTimeoutError,
@@ -37,7 +42,8 @@ from repro.errors import (
 )
 from repro.gf import field as gf
 from repro.ids import BlockAddr, Tid
-from repro.net.rpc import Deadline, NodeProxy, pfor
+from repro.net.backpressure import BackoffPolicy, RetryBudget
+from repro.net.rpc import Deadline, NodeProxy, pfor, _pool_instance
 from repro.net.transport import Transport
 from repro.obs.metrics import NULL_REGISTRY
 from repro.obs.trace import TraceContext, TraceIdAllocator
@@ -67,8 +73,12 @@ class ClientStats:
     order_retries: int = 0
     remaps: int = 0
     rpc_timeouts: int = 0  # RPCs that hit their deadline (gray/lossy net)
-    suspicion_remaps: int = 0  # remaps triggered by repeated timeouts
+    suspicion_remaps: int = 0  # remaps triggered by the breaker tripping
     degraded_reads: int = 0  # reads served by decode instead of recovery
+    hedged_reads: int = 0  # reads where the hedge (reconstruct race) fired
+    busy_rejections: int = 0  # NodeBusyError sheds observed (admission)
+    breaker_fast_fails: int = 0  # calls refused locally by an open circuit
+    budget_denials: int = 0  # retries/hedges refused by the retry budget
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _mirror: object = field(default=None, repr=False)
     _mirror_client: str = field(default="", repr=False)
@@ -100,6 +110,8 @@ class ProtocolClient:
         volume: str,
         meta: VolumeMeta,
         config: ClientConfig | None = None,
+        health: HealthRegistry | None = None,
+        retry_budget: RetryBudget | None = None,
     ):
         self.client_id = client_id
         self.transport = transport
@@ -116,10 +128,27 @@ class ProtocolClient:
         self._seq_lock = threading.Lock()
         self._recovering: set[int] = set()
         self._recovering_lock = threading.Lock()
-        # Consecutive RPC timeouts per node id; at suspicion_threshold
-        # the node graduates from suspected to believed-failed.
-        self._suspicion: dict[str, int] = {}
-        self._suspicion_lock = threading.Lock()
+        # Per-node health scoring + circuit breakers.  The cluster wires
+        # one shared registry across protocol/monitor/GC/rebuild clients;
+        # a standalone client gets its own.
+        self.health = health if health is not None else HealthRegistry()
+        if retry_budget is None and self.config.retry_budget is not None:
+            retry_budget = RetryBudget(
+                self.config.retry_budget, self.config.retry_budget_refill
+            )
+        self.retry_budget = retry_budget
+        # Jittered (decorrelated) retry sleeps, seeded per client id so
+        # seeded workloads draw the same sleep sequence every run.
+        self._backoff = BackoffPolicy(
+            self.config.backoff,
+            max(self.config.backoff, self.config.backoff_cap),
+            seed=int.from_bytes(
+                hashlib.blake2b(
+                    client_id.encode(), digest_size=8
+                ).digest(),
+                "big",
+            ),
+        )
         # ntids of completed writes, awaiting garbage collection
         # (Fig. 5 line 21 / Fig. 7); consumed by GcManager.
         self.gc_pending: dict[int, dict[int, set[Tid]]] = {}
@@ -135,6 +164,9 @@ class ProtocolClient:
         self.metrics = registry
         self.tracer = tracer
         self.stats.mirror_to(registry, self.client_id)
+        self.health.metrics = registry
+        if self.retry_budget is not None:
+            self.retry_budget.metrics = registry
 
     @property
     def code(self):
@@ -173,23 +205,28 @@ class ProtocolClient:
                          failed=failed)
         self.directory.remap(self._slot(stripe, index), failed)
 
-    def _suspect(self, node_id: str) -> bool:
-        """Count a timeout against ``node_id``; True once the node has
-        accumulated enough consecutive timeouts to be declared failed."""
-        self.stats.bump("rpc_timeouts")
-        with self._suspicion_lock:
-            count = self._suspicion.get(node_id, 0) + 1
-            if count >= self.config.suspicion_threshold:
-                self._suspicion.pop(node_id, None)
-                return True
-            self._suspicion[node_id] = count
-            return False
+    def _sleep_backoff(
+        self, attempt: int, deadline: Deadline | None = None
+    ) -> None:
+        """Jittered retry sleep, clamped so it never overshoots the
+        operation's deadline budget (a sleep past the deadline would
+        turn a bounded op into a guaranteed failure)."""
+        delay = self._backoff.next_delay(attempt)
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if remaining is not None:
+                delay = min(delay, max(0.0, remaining))
+        if delay > 0:
+            time.sleep(delay)
 
-    def _absolve(self, node_id: str) -> None:
-        """A successful RPC clears accumulated suspicion."""
-        if self._suspicion:
-            with self._suspicion_lock:
-                self._suspicion.pop(node_id, None)
+    def _retry_permitted(self) -> bool:
+        """Spend one retry-budget token; False means the caller must
+        give up instead of adding more load to a sick cluster."""
+        budget = self.retry_budget
+        if budget is None or budget.spend():
+            return True
+        self.stats.bump("budget_denials")
+        return False
 
     def _call(
         self,
@@ -203,29 +240,75 @@ class ProtocolClient:
         """RPC to the node serving stripe position ``index``; on fail-stop
         detection, remap and re-raise so the caller enters recovery.
 
-        ``trace_ctx`` (when tracing) piggybacks on the request as the
-        ``_trace`` kwarg; the node pops it and emits the server-side
-        span event.
+        A :class:`NodeBusyError` (server-side admission shed) is retried
+        here with jittered backoff — overload is a *retryable* condition,
+        never evidence of failure, so it must not reach the remap or
+        recovery paths below.  After ``busy_retry_limit`` sheds it
+        propagates for the operation-level loops to absorb."""
+        for busy_attempt in range(self.config.busy_retry_limit + 1):
+            try:
+                return self._call_once(
+                    stripe, index, op, *args, trace_ctx=trace_ctx, **kwargs
+                )
+            except NodeBusyError:
+                self.stats.bump("busy_rejections")
+                if busy_attempt >= self.config.busy_retry_limit:
+                    raise
+                time.sleep(self._backoff.next_delay(busy_attempt))
+        raise AssertionError("unreachable")
+
+    def _call_once(
+        self,
+        stripe: int,
+        index: int,
+        op: str,
+        *args,
+        trace_ctx: TraceContext | None = None,
+        **kwargs,
+    ):
+        """One RPC attempt, feeding the shared health registry.
+
+        The circuit breaker gates the attempt: while a node's circuit is
+        open the call fails fast with :class:`CircuitOpenError` (a
+        NodeUnavailableError, so callers take their usual degraded/
+        recovery paths) instead of burning a full ``rpc_timeout``.
 
         A timeout is weaker evidence than a detected crash — the target
-        may be gray, not dead — so remap waits for the suspicion
-        threshold; the exception still propagates so the caller retries
-        or goes degraded either way."""
+        may be gray, not dead — so remap waits for the breaker to trip
+        at the suspicion threshold; the exception still propagates so
+        the caller retries or goes degraded either way."""
         proxy = self._proxy(stripe, index)
+        if not self.health.allow_request(
+            proxy.dst, self.config.breaker_probe_interval
+        ):
+            self.stats.bump("breaker_fast_fails")
+            raise CircuitOpenError(proxy.dst)
         if trace_ctx is not None:
             kwargs["_trace"] = trace_ctx.wire()
+        start = time.perf_counter()
         try:
             result = proxy.call(op, *args, **kwargs)
+        except NodeBusyError:
+            raise  # overload, not failure: health state untouched
         except RpcTimeoutError as exc:
-            if exc.node_id == proxy.dst and self._suspect(proxy.dst):
-                self.stats.bump("suspicion_remaps")
-                self._remap(stripe, index, proxy.dst)
+            if exc.node_id == proxy.dst:
+                self.stats.bump("rpc_timeouts")
+                if self.health.observe_failure(
+                    proxy.dst, "timeout", self.config.suspicion_threshold
+                ):
+                    self.stats.bump("suspicion_remaps")
+                    self._remap(stripe, index, proxy.dst)
             raise
         except NodeUnavailableError as exc:
             if exc.node_id == proxy.dst:
+                self.health.observe_failure(
+                    proxy.dst, "unavailable", self.config.suspicion_threshold
+                )
                 self._remap(stripe, index, proxy.dst)
             raise
-        self._absolve(proxy.dst)
+        self.health.observe_success(proxy.dst, time.perf_counter() - start)
+        if self.retry_budget is not None:
+            self.retry_budget.deposit()
         return result
 
     # ------------------------------------------------------------------
@@ -245,8 +328,25 @@ class ProtocolClient:
                     f"read of {addr} exceeded its "
                     f"{self.config.op_deadline:g}s deadline budget"
                 )
+            if attempt and not self._retry_permitted():
+                raise ReadFailedError(
+                    f"read of {addr} stopped after {attempt} attempts: "
+                    "retry budget exhausted"
+                )
             try:
-                result = self._call(stripe, index, "read", addr)
+                if self.config.hedged_reads:
+                    result, hedged = self._hedged_read_attempt(
+                        stripe, index, addr
+                    )
+                    if hedged is not None:
+                        return hedged
+                else:
+                    result = self._call(stripe, index, "read", addr)
+            except NodeBusyError:
+                # Overloaded, not crashed: back off and retry — never
+                # remap, never recover.
+                self._sleep_backoff(attempt, deadline)
+                continue
             except NodeUnavailableError:
                 if self.config.degraded_reads:
                     value = self.read_degraded(stripe, index)
@@ -265,10 +365,76 @@ class ProtocolClient:
                 self._start_recovery(stripe)
             else:
                 # Another client's recovery holds the lock; wait it out.
-                time.sleep(self.config.backoff_for(attempt))
+                self._sleep_backoff(attempt, deadline)
         raise ReadFailedError(
             f"read of {addr} failed after {self.config.max_op_attempts} attempts"
         )
+
+    def _hedged_read_attempt(self, stripe: int, index: int, addr: BlockAddr):
+        """Race the data-node read against a k-of-n reconstruct.
+
+        The primary read is issued immediately; if it has not answered
+        within the health-derived hedging delay, spend one retry-budget
+        token and run a degraded (decode-from-survivors) read
+        concurrently, taking whichever finishes first.  The loser is
+        abandoned, not cancelled — its RPC budget is already committed
+        to the transport, but its eventual outcome still feeds the
+        health registry, which is exactly what we want from a probe.
+
+        Returns ``(read_result, None)`` when the primary wins (or no
+        hedge fired) and ``(None, value)`` when the reconstruct wins.
+        Raises like :meth:`_call` when both paths fail.
+        """
+        config = self.config
+        node_id = self.directory.node_id(self._slot(stripe, index))
+        delay = config.hedge_delay
+        if delay is None:
+            delay = self.health.hedge_delay(
+                node_id,
+                config.hedge_delay_floor,
+                config.hedge_delay_multiplier,
+            )
+        future = _pool_instance().submit(
+            self._call, stripe, index, "read", addr
+        )
+        try:
+            return future.result(timeout=delay), None
+        except FutureTimeoutError:
+            pass  # primary is slow; consider hedging
+        # The hedge is extra load: it must fit in the retry budget.
+        if self.retry_budget is not None and not self.retry_budget.spend():
+            self.stats.bump("budget_denials")
+            return future.result(), None
+        self.stats.bump("hedged_reads")
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(self.client_id, "read.hedge.fire", stripe=stripe,
+                        index=index, node=node_id, delay=round(delay, 6))
+        value = self.read_degraded(stripe, index)
+        if future.done():
+            try:
+                result = future.result(timeout=0)
+            except (NodeUnavailableError, NodeBusyError):
+                result = None  # primary lost; fall back to the hedge
+            if result is not None:
+                self._hedge_won("primary", stripe, index)
+                return result, None
+        if value is not None:
+            self._hedge_won("reconstruct", stripe, index)
+            return None, value
+        # Both slow and the reconstruct found no consistent set: wait
+        # the primary out (bounded by its own rpc_timeout) and let its
+        # outcome drive the normal retry/recovery paths.
+        result = future.result()
+        self._hedge_won("primary", stripe, index)
+        return result, None
+
+    def _hedge_won(self, winner: str, stripe: int, index: int) -> None:
+        if self.metrics.enabled:
+            self.metrics.counter("hedged_reads_total", winner=winner).inc()
+        if self.tracer.enabled:
+            self.tracer.emit(self.client_id, "read.hedge.win", stripe=stripe,
+                             index=index, winner=winner)
 
     def read_degraded(self, stripe: int, index: int) -> np.ndarray | None:
         """Decode data block ``index`` from surviving blocks, read-only.
@@ -286,14 +452,14 @@ class ProtocolClient:
         a value some prefix of completed/in-flight writes produced —
         within the §3.1 regular-register guarantee.
         """
-        data: dict[int, StateSnapshot] = {}
-        for j in range(self.n):
-            try:
-                data[j] = self._call(
-                    stripe, j, "get_state", self._addr(stripe, j)
-                )
-            except NodeUnavailableError:
-                continue
+        def snap(j: int) -> StateSnapshot:
+            return self._call(stripe, j, "get_state", self._addr(stripe, j))
+
+        data: dict[int, StateSnapshot] = {
+            j: res
+            for j, res in pfor(list(range(self.n)), snap).items()
+            if isinstance(res, StateSnapshot)
+        }
         cset = find_consistent(data, self.k)
         if len(cset) < self.k:
             return None
@@ -333,7 +499,7 @@ class ProtocolClient:
         redundant = tuple(range(self.k, self.n))
         full = frozenset((index,) + redundant)
         deadline = Deadline.after(self.config.op_deadline)
-        for _ in range(self.config.max_write_attempts):
+        for attempt in range(self.config.max_write_attempts):
             if deadline.expired():
                 if root is not None:
                     tracer.emit(self.client_id, "write.abort", stripe=stripe,
@@ -342,18 +508,27 @@ class ProtocolClient:
                     f"write to stripe {stripe} block {index} exceeded its "
                     f"{self.config.op_deadline:g}s deadline budget"
                 )
+            if attempt and not self._retry_permitted():
+                if root is not None:
+                    tracer.emit(self.client_id, "write.abort", stripe=stripe,
+                                index=index, **root.to_detail())
+                raise WriteAbortedError(
+                    f"write to stripe {stripe} block {index} stopped after "
+                    f"{attempt} attempts: retry budget exhausted"
+                )
             self.stats.bump("write_attempts")
             ntid = self._next_tid(index)
             swap_ctx = self._trace_ids.child(root) if root is not None else None
             swap = self._swap_until_valid(
-                stripe, index, value, ntid, trace_ctx=swap_ctx
+                stripe, index, value, ntid, trace_ctx=swap_ctx,
+                deadline=deadline,
             )
             if swap is None:
                 continue  # recovery intervened; retry with a fresh tid
             diff = gf.sub_block(value, swap.block)  # v - w, to be scaled
             done = self._run_adds(
                 stripe, index, ntid, swap, diff, redundant,
-                trace_parent=swap_ctx,
+                trace_parent=swap_ctx, deadline=deadline,
             )
             if done == full:
                 self._note_completed(stripe, ntid, done)
@@ -376,14 +551,22 @@ class ProtocolClient:
         value: np.ndarray,
         ntid: Tid,
         trace_ctx: TraceContext | None = None,
+        deadline: Deadline | None = None,
     ) -> SwapResult | None:
         """Fig. 5 lines 3-6: swap, running recovery when the node is out
         of service.  Returns None if attempts ran out this round."""
         addr = self._addr(stripe, index)
         for attempt in range(self.config.max_op_attempts):
+            if deadline is not None and deadline.expired():
+                return None  # write() raises the deadline abort
+            if attempt and not self._retry_permitted():
+                return None
             try:
                 swap = self._call(stripe, index, "swap", addr, value, ntid,
                                   trace_ctx=trace_ctx)
+            except NodeBusyError:
+                self._sleep_backoff(attempt, deadline)
+                continue
             except NodeUnavailableError:
                 self._start_recovery(stripe)
                 continue
@@ -392,7 +575,7 @@ class ProtocolClient:
             if swap.lmode in (LockMode.UNL, LockMode.EXP):
                 self._start_recovery(stripe)
             else:
-                time.sleep(self.config.backoff_for(attempt))
+                self._sleep_backoff(attempt, deadline)
         return None
 
     def _run_adds(
@@ -404,6 +587,7 @@ class ProtocolClient:
         diff: np.ndarray,
         redundant: tuple[int, ...],
         trace_parent: TraceContext | None = None,
+        deadline: Deadline | None = None,
     ) -> frozenset[int]:
         """Fig. 5 lines 7-20: drive adds until done, retrying ORDER and
         handling failures.  Returns the set D of updated positions."""
@@ -415,19 +599,26 @@ class ProtocolClient:
         for spin in range(self.config.max_op_attempts):
             if not todo or not done:
                 break
+            if deadline is not None and deadline.expired():
+                break  # write() raises the deadline abort
+            if spin and not self._retry_permitted():
+                break
             results = self._issue_adds(
                 stripe, ntid, otid, epoch, diff, todo,
                 trace_parent=trace_parent,
             )
             crashed: set[int] = set()
+            busy: set[int] = set()
             normal: dict[int, AddResult] = {}
             for j, res in results.items():
                 if isinstance(res, AddResult):
                     normal[j] = res
+                elif isinstance(res, NodeBusyError):
+                    busy.add(j)  # shed by admission control: just retry
                 else:  # fail-stop detected mid-batch
                     crashed.add(j)
             done |= {j for j, r in normal.items() if r.status is AddStatus.OK}
-            retry = {
+            retry = busy | {
                 j
                 for j, r in normal.items()
                 if r.status is AddStatus.ORDER
@@ -452,9 +643,9 @@ class ProtocolClient:
                                  stripe=stripe, tid=str(ntid))
                 order_spins += 1
                 otid, done = self._check_ordering(stripe, ntid, otid, done)
-                time.sleep(self.config.backoff_for(order_spins))
+                self._sleep_backoff(order_spins, deadline)
             elif retry:
-                time.sleep(self.config.backoff_for(spin))
+                self._sleep_backoff(spin, deadline)
             todo = retry
         return frozenset(done)
 
@@ -499,7 +690,7 @@ class ProtocolClient:
             for j in ordered:
                 try:
                     results[j] = one(j)
-                except NodeUnavailableError as exc:
+                except (NodeUnavailableError, NodeBusyError) as exc:
                     results[j] = exc
             return results
         if strategy is WriteStrategy.PARALLEL:
@@ -564,8 +755,13 @@ class ProtocolClient:
         if any(r is CheckTidStatus.GC for r in statuses.values()):
             otid = None  # previous write known complete; stop ordering
         done = done - {j for j, r in statuses.items() if r is CheckTidStatus.INIT}
-        # Unreachable nodes also leave D (they have crashed).
-        done -= {j for j, r in results.items() if not isinstance(r, CheckTidStatus)}
+        # Unreachable nodes also leave D (they have crashed).  Busy ones
+        # do NOT: a shed probe says nothing about the node's state.
+        done -= {
+            j
+            for j, r in results.items()
+            if not isinstance(r, (CheckTidStatus, NodeBusyError))
+        }
         return otid, done
 
     def _note_completed(self, stripe: int, ntid: Tid, done: frozenset[int]) -> None:
@@ -579,7 +775,9 @@ class ProtocolClient:
     # Recovery — Fig. 6
     # ------------------------------------------------------------------
 
-    def _start_recovery(self, stripe: int) -> None:
+    def _start_recovery(
+        self, stripe: int, exclude: frozenset[int] | None = None
+    ) -> None:
         """Fig. 6 start_recovery: run recover() unless this client is
         already recovering this stripe (another local thread)."""
         with self._recovering_lock:
@@ -589,7 +787,7 @@ class ProtocolClient:
         try:
             self.stats.bump("recoveries_started")
             self.tracer.emit(self.client_id, "recovery.begin", stripe=stripe)
-            if self.recover(stripe):
+            if self.recover(stripe, exclude=exclude):
                 self.stats.bump("recoveries_completed")
                 self.tracer.emit(self.client_id, "recovery.end", stripe=stripe)
             else:
@@ -601,8 +799,14 @@ class ProtocolClient:
             with self._recovering_lock:
                 self._recovering.discard(stripe)
 
-    def recover(self, stripe: int) -> bool:
+    def recover(
+        self, stripe: int, exclude: frozenset[int] | None = None
+    ) -> bool:
         """Run the three-phase recovery of Fig. 6 on one stripe.
+
+        ``exclude`` forces those positions out of the consistent set —
+        the scrubber uses it to repair a silently-corrupted block by
+        reconstructing the stripe from everyone else.
 
         Returns False if another client holds the recovery locks (we
         back off); True once the stripe is reconstructed and unlocked.
@@ -618,7 +822,9 @@ class ProtocolClient:
             ).observe(time.monotonic() - start)
         try:
             start = time.monotonic()
-            data, cset = self._phase2_find_consistent(stripe)
+            data, cset = self._phase2_find_consistent(
+                stripe, exclude=exclude or frozenset()
+            )
             if metrics.enabled:
                 metrics.histogram(
                     "recovery_phase_seconds", phase="find_consistent"
@@ -650,7 +856,9 @@ class ProtocolClient:
         acquired: list[tuple[int, LockMode]] = []
         for j in range(self.n):
             result = None
-            for _ in range(self.config.max_op_attempts):
+            for attempt in range(self.config.max_op_attempts):
+                if attempt and not self._retry_permitted():
+                    break  # budget spent; yield rather than hammer
                 try:
                     result = self._call(
                         stripe,
@@ -661,10 +869,12 @@ class ProtocolClient:
                         caller=self.client_id,
                     )
                     break
-                except NodeUnavailableError:
-                    continue  # remapped inside _call; retry on fresh node
+                except NodeBusyError:
+                    continue  # shed; _call already backed off
                 except RpcTimeoutError:
                     continue  # maybe granted; re-grant makes retry safe
+                except NodeUnavailableError:
+                    continue  # remapped inside _call; retry on fresh node
             if result is None or not result.ok:
                 def release(item: tuple[int, LockMode]) -> None:
                     pos, old = item
@@ -686,6 +896,8 @@ class ProtocolClient:
                     caller=self.client_id,
                 )
                 return
+            except NodeBusyError:
+                continue  # a release must land; keep trying through sheds
             except RpcTimeoutError:
                 continue
             except NodeUnavailableError:
@@ -693,10 +905,12 @@ class ProtocolClient:
 
     def _get_states(self, stripe: int, indices: list[int]) -> dict[int, StateSnapshot]:
         def fetch(j: int) -> StateSnapshot:
-            for _ in range(self.config.max_op_attempts):
+            for attempt in range(self.config.max_op_attempts):
+                if attempt and not self._retry_permitted():
+                    break
                 try:
                     return self._call(stripe, j, "get_state", self._addr(stripe, j))
-                except NodeUnavailableError:
+                except (NodeUnavailableError, NodeBusyError):
                     continue
             raise NodeUnavailableError(f"slot for stripe {stripe} pos {j}")
 
@@ -710,14 +924,14 @@ class ProtocolClient:
         return out
 
     def _phase2_find_consistent(
-        self, stripe: int
+        self, stripe: int, exclude: frozenset[int] = frozenset()
     ) -> tuple[dict[int, StateSnapshot], frozenset[int]]:
         data = self._get_states(stripe, list(range(self.n)))
         # Pick up a crashed recovery: someone already chose a consistent
         # set and started writing it back (opmode RECONS).
         for h in range(self.n):
             if data[h].opmode is OpMode.RECONS and data[h].recons_set is not None:
-                cset = frozenset(data[h].recons_set) - {
+                cset = frozenset(data[h].recons_set) - exclude - {
                     j for j in range(self.n) if data[j].opmode is OpMode.INIT
                 }
                 if len(cset) < self.k:
@@ -727,7 +941,7 @@ class ProtocolClient:
                     )
                 return data, cset
 
-        cset = find_consistent(data, self.k)
+        cset = find_consistent(data, self.k) - exclude
         slack = max(
             0,
             self.config.t_d
@@ -751,7 +965,7 @@ class ProtocolClient:
                 time.sleep(self.config.backoff)
                 fresh = self._get_states(stripe, list(range(self.n)))
                 data.update(fresh)
-                cset = find_consistent(data, self.k)
+                cset = find_consistent(data, self.k) - exclude
                 slack = max(
                     0,
                     self.config.t_d
@@ -771,7 +985,7 @@ class ProtocolClient:
                         LockMode.L1,
                         caller=self.client_id,
                     )
-                except NodeUnavailableError:
+                except (NodeUnavailableError, NodeBusyError):
                     recent[j] = None
             cset = cset - {
                 j
@@ -803,7 +1017,7 @@ class ProtocolClient:
                         cset,
                         blocks[j],
                     )
-                except NodeUnavailableError:
+                except (NodeUnavailableError, NodeBusyError):
                     continue
             raise NodeUnavailableError(f"slot for stripe {stripe} pos {j}")
 
@@ -827,7 +1041,7 @@ class ProtocolClient:
                         stripe, j, "finalize", self._addr(stripe, j), new_epoch
                     )
                     return
-                except NodeUnavailableError:
+                except (NodeUnavailableError, NodeBusyError):
                     continue
             raise NodeUnavailableError(f"slot for stripe {stripe} pos {j}")
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.client.consistency import find_consistent
 from repro.client.protocol import ProtocolClient
-from repro.errors import NodeUnavailableError, RecoveryFailedError
+from repro.errors import NodeBusyError, NodeUnavailableError, RecoveryFailedError
 from repro.storage.state import LockMode, OpMode, StateSnapshot
 
 
@@ -78,6 +78,8 @@ class Rebuilder:
             addr = self.client._addr(stripe, j)
             try:
                 opmode, lmode, _age = self.client._call(stripe, j, "probe", addr)
+            except NodeBusyError:
+                return False  # overloaded, not damaged; skip this pass
             except NodeUnavailableError:
                 return True  # _call remapped the slot; recovery needed
             if opmode is not OpMode.NORM or lmode is LockMode.EXP:
@@ -89,6 +91,8 @@ class Rebuilder:
                     data[j] = self.client._call(
                         stripe, j, "get_state", self.client._addr(stripe, j)
                     )
+                except NodeBusyError:
+                    return False  # overloaded, not damaged
                 except NodeUnavailableError:
                     return True
             return len(find_consistent(data, self.client.k)) < self.client.n

@@ -18,8 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.client.protocol import ProtocolClient
-from repro.errors import NodeUnavailableError
+from repro.errors import NodeBusyError, NodeUnavailableError
 from repro.storage.state import OpMode
 
 
@@ -32,6 +34,10 @@ class ScrubReport:
     unavailable: list[int] = field(default_factory=list)  # blocks missing
     mismatched: list[int] = field(default_factory=list)  # equations failed
     repaired: list[int] = field(default_factory=list)
+    #: (stripe, index) pairs where the mismatch was *located* to one
+    #: silently corrupted block (e.g. a WAL bit flip) and repaired by
+    #: reconstructing from everyone else.
+    corrupt_blocks: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def healthy(self) -> bool:
@@ -45,31 +51,64 @@ class Scrubber:
         self.client = client
         self.repair = repair
 
-    def _stripe_equations_hold(self, stripe: int) -> bool | None:
-        """True = verified; False = mismatch; None = blocks unavailable
-        or the stripe is mid-operation (cannot judge)."""
+    def _snapshot_stripe(self, stripe: int):
+        """(verdict, blocks): True = verified; False = mismatch, with
+        the block images for corruption location; None = blocks
+        unavailable/busy or the stripe is mid-operation (cannot judge)."""
         snapshots = {}
         for j in range(self.client.n):
             addr = self.client._addr(stripe, j)
             try:
                 snap = self.client._call(stripe, j, "get_state", addr)
-            except NodeUnavailableError:
-                return None
+            except (NodeUnavailableError, NodeBusyError):
+                return None, None
             if snap.opmode is not OpMode.NORM or snap.block is None:
-                return None
+                return None, None
             if snap.recentlist:
                 # In-flight writes: equations may transiently not hold.
-                return None
+                return None, None
             snapshots[j] = snap.block
-        return self.client.code.is_consistent_stripe(
+        ok = self.client.code.is_consistent_stripe(
             [snapshots[j] for j in range(self.client.n)]
         )
+        return ok, snapshots
+
+    def _stripe_equations_hold(self, stripe: int) -> bool | None:
+        verdict, _ = self._snapshot_stripe(stripe)
+        return verdict
+
+    def _locate_corruption(self, blocks: dict) -> list[int]:
+        """Indices j such that the stripe is fully consistent *without*
+        block j: excluding the actually-corrupt block leaves a clean
+        stripe whose reconstruction matches every survivor, while
+        excluding an innocent one leaves the corruption inside and the
+        cross-check fails.  A single silent corruption therefore yields
+        exactly one candidate (given n - k >= 2 blocks of redundancy to
+        cross-check against; with n - k == 1 every exclusion passes and
+        the damage is detectable but not locatable)."""
+        code = self.client.code
+        candidates: list[int] = []
+        for j in sorted(blocks):
+            available = {i: b for i, b in blocks.items() if i != j}
+            if len(available) < self.client.k:
+                continue
+            try:
+                predicted = code.reconstruct_stripe(available)
+            except Exception:
+                continue
+            if all(
+                np.array_equal(predicted[i], available[i])
+                for i in available
+            ):
+                candidates.append(j)
+        return candidates
 
     def scrub(self, stripes) -> ScrubReport:
         report = ScrubReport()
+        client = self.client
         for stripe in stripes:
             report.examined += 1
-            verdict = self._stripe_equations_hold(stripe)
+            verdict, blocks = self._snapshot_stripe(stripe)
             if verdict is True:
                 report.clean += 1
                 continue
@@ -77,8 +116,23 @@ class Scrubber:
                 report.unavailable.append(stripe)
             else:
                 report.mismatched.append(stripe)
-            if self.repair:
-                self.client._start_recovery(stripe)
-                if self._stripe_equations_hold(stripe) is True:
-                    report.repaired.append(stripe)
+            if not self.repair:
+                continue
+            exclude: frozenset[int] | None = None
+            if blocks is not None:
+                corrupt = self._locate_corruption(blocks)
+                if len(corrupt) == 1:
+                    # Located one silently corrupted block: repair by
+                    # reconstructing the stripe from everyone else
+                    # (plain recovery would trust the corrupt block —
+                    # its tid metadata is indistinguishably clean).
+                    report.corrupt_blocks.append((stripe, corrupt[0]))
+                    client.tracer.emit(
+                        client.client_id, "scrub.corruption",
+                        stripe=stripe, index=corrupt[0],
+                    )
+                    exclude = frozenset(corrupt)
+            client._start_recovery(stripe, exclude=exclude)
+            if self._stripe_equations_hold(stripe) is True:
+                report.repaired.append(stripe)
         return report

@@ -15,12 +15,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.client.config import ClientConfig
+from repro.client.health import HealthRegistry
 from repro.client.protocol import ProtocolClient
 from repro.core.volume import VolumeClient
 from repro.directory import Directory
 from repro.erasure.rs import ReedSolomonCode
 from repro.erasure.striping import StripeLayout
 from repro.ids import BlockAddr
+from repro.net.backpressure import AdmissionController, RetryBudget
 from repro.net.chaos import ChaosTransport, FaultPlan
 from repro.net.local import DelayModel, LocalTransport
 from repro.net.transport import Transport
@@ -62,6 +64,8 @@ class Cluster:
         store_factory=None,
         chaos_plan: FaultPlan | None = None,
         observability: Observability | None = None,
+        admission_limit: int | None = None,
+        retry_budget: float | None = None,
     ):
         self.code = ReedSolomonCode(k, n, construction)
         self.layout = StripeLayout(k, n, rotate=rotate)
@@ -82,6 +86,24 @@ class Cluster:
         self.observability = observability
         if observability is not None:
             self.transport.metrics = observability.registry
+        #: Deployment-wide per-node health view (EWMA + circuit
+        #: breakers), shared by every client this cluster creates so
+        #: protocol, monitor, GC and rebuild traffic all feed — and all
+        #: benefit from — the same breaker state.
+        self.health = HealthRegistry()
+        #: Cluster-wide retry budget shared by all clients (None =
+        #: unlimited retries, the historical behaviour).
+        self.retry_budget = (
+            RetryBudget(retry_budget) if retry_budget is not None else None
+        )
+        if admission_limit is not None:
+            self.transport.admission = AdmissionController(admission_limit)
+        if observability is not None:
+            self.health.metrics = observability.registry
+            if self.retry_budget is not None:
+                self.retry_budget.metrics = observability.registry
+            if self.transport.admission is not None:
+                self.transport.admission.metrics = observability.registry
         self.instrument = instrument
         self._seed = seed
         # Optional persistence backend per node, e.g.
@@ -199,6 +221,8 @@ class Cluster:
             volume=volume,
             meta=self.volume_meta(volume),
             config=config,
+            health=self.health,
+            retry_budget=self.retry_budget,
         )
         if self.observability is not None:
             client.attach_observability(
@@ -246,9 +270,12 @@ class Cluster:
           repair; a torn/lost tail degrades the node to fresh ``INIT``,
           i.e. the remap cost, but *detected*, never silent.
 
-        ``media_force`` ("torn"/"lost", restart policy only) damages
-        the last WAL record unconditionally — deterministic injection
-        for tests and the restart soak's forced-degradation cycle.
+        ``media_force`` ("torn"/"lost"/"flip", restart policy only)
+        damages the last WAL record unconditionally — deterministic
+        injection for tests and the restart soak's forced-degradation
+        cycle.  "flip" is *silent*: the frame is re-sealed with a fresh
+        CRC, so the node replays cleanly and serves the corrupt block
+        until a parity scrub catches it.
         """
         if policy not in ("remap", "restart"):
             raise ValueError(f"unknown crash policy {policy!r}")

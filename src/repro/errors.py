@@ -51,6 +51,37 @@ class RpcTimeoutError(NodeUnavailableError):
         self.deadline = deadline
 
 
+class NodeBusyError(ReproError):
+    """The target shed this request: its admission queue is full.
+
+    Deliberately *not* a :class:`NodeUnavailableError` subclass — an
+    overloaded node is alive and healthy, so callers must retry with
+    backoff rather than remap the slot or start recovery.  Misreading
+    overload as a crash would convert a load spike into spurious
+    reconstruction traffic, making the overload worse.
+    """
+
+    def __init__(self, node_id: str, reason: str = "admission queue full"):
+        super().__init__(f"node {node_id!r} busy: {reason}")
+        self.node_id = node_id
+        self.reason = reason
+
+    def __reduce__(self):
+        # Survive pickling over TcpTransport with fields intact.
+        return (NodeBusyError, (self.node_id, self.reason))
+
+
+class CircuitOpenError(NodeUnavailableError):
+    """Fast-fail raised by the client's circuit breaker while a node's
+    circuit is open: the node is *believed* failed, so calls are not
+    even attempted until a half-open probe is due.  Subclasses
+    :class:`NodeUnavailableError` so every degraded-read/recovery path
+    treats it exactly like the detected failure it stands in for."""
+
+    def __init__(self, node_id: str):
+        super().__init__(node_id, reason="circuit open")
+
+
 class UnknownNodeError(ReproError):
     """RPC addressed to a node id the transport has never seen."""
 

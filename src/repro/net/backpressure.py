@@ -1,0 +1,163 @@
+"""Load control: jittered backoff, retry budgets, admission control.
+
+Three mechanisms that keep a sick or overloaded cluster from melting
+down under its own failure handling:
+
+* :class:`BackoffPolicy` — decorrelated-jitter backoff (the AWS
+  "exponential backoff and jitter" result): retry sleeps are drawn from
+  ``uniform(base, 3 * previous)`` capped at ``cap``, so a herd of
+  clients retrying against the same stripe decorrelates instead of
+  synchronizing into waves.  The draw comes from a per-policy seeded
+  ``random.Random``, so a deterministic call sequence yields a
+  deterministic sleep sequence (the same property the chaos layer's
+  fault draws have).
+* :class:`RetryBudget` — a token bucket capping cluster-wide retry
+  amplification: every retry spends a token, every successful first
+  attempt deposits a fraction of one.  Under a permanently-gray node
+  the budget drains and retries are refused, bounding total RPC
+  attempts instead of letting one sick node multiply load.
+* :class:`AdmissionController` — server-side bounded per-node request
+  queues: a request beyond the limit is shed with
+  :class:`~repro.errors.NodeBusyError` *before* it consumes service
+  time.  Busy is retryable and explicitly not a crash signal (see the
+  decision table in docs/FAULTS.md §7).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.errors import NodeBusyError
+from repro.obs.metrics import NULL_REGISTRY
+
+
+class BackoffPolicy:
+    """Decorrelated-jitter retry sleeps, deterministic under a seed.
+
+    ``next_delay(attempt)`` returns the sleep before retry ``attempt``
+    (0-based).  Attempt 0 resets the decorrelation state, so each
+    operation's retry sequence starts from ``base`` regardless of what
+    earlier operations drew.
+    """
+
+    def __init__(self, base: float, cap: float, seed: int = 0):
+        if base <= 0 or cap < base:
+            raise ValueError(f"need 0 < base <= cap, got {base=} {cap=}")
+        self.base = base
+        self.cap = cap
+        self._rng = random.Random(seed)
+        self._prev = base
+        self._lock = threading.Lock()
+
+    def next_delay(self, attempt: int) -> float:
+        with self._lock:
+            if attempt <= 0:
+                self._prev = self.base
+            delay = min(
+                self.cap, self._rng.uniform(self.base, self._prev * 3.0)
+            )
+            self._prev = delay
+            return delay
+
+
+class RetryBudget:
+    """A token bucket bounding retry amplification.
+
+    Starts full at ``capacity`` tokens.  ``spend()`` consumes one token
+    (a retry, or a hedge — any request beyond the first attempt);
+    when the bucket is empty it refuses, and the caller must give up
+    rather than keep hammering.  ``deposit()`` (called on successful
+    first attempts) refills ``refill`` tokens, so a healthy cluster
+    regenerates budget at a rate proportional to useful work — the
+    classic "retries may be at most refill/(1+refill) of traffic" cap.
+    """
+
+    def __init__(self, capacity: float, refill: float = 0.1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = float(capacity)
+        self.refill = float(refill)
+        self._tokens = float(capacity)
+        self._lock = threading.Lock()
+        self.spent = 0
+        self.exhausted = 0
+        self.metrics = NULL_REGISTRY
+
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def spend(self) -> bool:
+        """Take one token; False (and a metric bump) when empty."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self.spent += 1
+                return True
+            self.exhausted += 1
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.counter("retry_budget_exhausted_total").inc()
+        return False
+
+    def deposit(self) -> None:
+        with self._lock:
+            self._tokens = min(self.capacity, self._tokens + self.refill)
+
+
+class AdmissionController:
+    """Bounded per-node request queues (server-side load shedding).
+
+    ``limit`` caps requests in flight per node — queued behind the
+    node's service lock plus currently served.  A request arriving
+    beyond the cap is refused with :class:`NodeBusyError` immediately,
+    spending no service time, so overload surfaces as fast retryable
+    rejections instead of unbounded queueing delay (which timeouts
+    would then misread as a gray node).
+    """
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError("admission limit must be >= 1")
+        self.limit = limit
+        self._inflight: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.rejects: dict[str, int] = {}
+        self.metrics = NULL_REGISTRY
+
+    def acquire(self, node_id: str, op: str = "?") -> None:
+        """Enter ``node_id``'s queue or raise :class:`NodeBusyError`."""
+        with self._lock:
+            count = self._inflight.get(node_id, 0)
+            if count >= self.limit:
+                self.rejects[node_id] = self.rejects.get(node_id, 0) + 1
+                reject = True
+            else:
+                self._inflight[node_id] = count + 1
+                reject = False
+        if reject:
+            metrics = self.metrics
+            if metrics.enabled:
+                metrics.counter(
+                    "admission_rejects_total", node=node_id, op=op
+                ).inc()
+            raise NodeBusyError(
+                node_id, f"admission queue full ({self.limit} in flight)"
+            )
+
+    def release(self, node_id: str) -> None:
+        with self._lock:
+            count = self._inflight.get(node_id, 0)
+            if count <= 1:
+                self._inflight.pop(node_id, None)
+            else:
+                self._inflight[node_id] = count - 1
+
+    def inflight(self, node_id: str) -> int:
+        with self._lock:
+            return self._inflight.get(node_id, 0)
+
+    def total_rejects(self) -> int:
+        with self._lock:
+            return sum(self.rejects.values())

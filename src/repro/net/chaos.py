@@ -39,7 +39,7 @@ import time
 from collections.abc import Iterable
 from dataclasses import dataclass
 
-from repro.errors import NodeUnavailableError, RpcTimeoutError
+from repro.errors import NodeBusyError, NodeUnavailableError, RpcTimeoutError
 from repro.net.transport import FailureListener, RpcHandler, Transport
 
 
@@ -287,6 +287,16 @@ class ChaosTransport(Transport):
         # registry to whichever transport is outermost.
         self.inner.metrics = registry
 
+    @property
+    def admission(self):
+        return self.inner.admission
+
+    @admission.setter
+    def admission(self, controller) -> None:
+        # Admission control is server-side and lives where requests are
+        # actually served — the inner transport.
+        self.inner.admission = controller
+
     def register(self, node_id: str, handler: RpcHandler | None = None) -> None:
         self.inner.register(node_id, handler)
 
@@ -377,7 +387,7 @@ class ChaosTransport(Transport):
                 time.sleep(budget)
                 try:
                     self.inner.call(src, dst, op, *args, **kwargs)
-                except NodeUnavailableError:
+                except (NodeUnavailableError, NodeBusyError):
                     pass
                 self._record("late_delivery", src, dst, op, count)
                 self._count_surfaced_timeout(op)
@@ -395,7 +405,7 @@ class ChaosTransport(Transport):
             self._record("duplicate", src, dst, op, count)
             try:
                 self.inner.call(src, dst, op, *args, timeout=budget, **kwargs)
-            except NodeUnavailableError:
+            except (NodeUnavailableError, NodeBusyError):
                 pass
         return result
 
@@ -418,6 +428,6 @@ class ChaosTransport(Transport):
         for dst in dsts:
             try:
                 results[dst] = self.call(src, dst, op, *args, timeout=timeout, **kwargs)
-            except NodeUnavailableError as exc:
+            except (NodeUnavailableError, NodeBusyError) as exc:
                 results[dst] = exc
         return results

@@ -88,8 +88,17 @@ class LocalTransport(Transport):
         # The destination may have crashed while the request was in
         # flight; re-check so a message is never served by a dead node.
         self._check_reachable(src, dst)
-        with self._target_locks[dst]:
-            result = handler.handle(op, *args, **kwargs)
+        admission = self.admission
+        if admission is not None:
+            # Counted from arrival (queued behind the node's service
+            # lock) through service: bounded queues, shed the excess.
+            admission.acquire(dst, op=op)
+        try:
+            with self._target_locks[dst]:
+                result = handler.handle(op, *args, **kwargs)
+        finally:
+            if admission is not None:
+                admission.release(dst)
         response_size = estimate_size(result)
         self.stats.record_response(op, response_size)
         delay = self.delay.one_way(response_size)
@@ -125,12 +134,19 @@ class LocalTransport(Transport):
             metrics.counter("rpc_broadcasts_total", op=op).inc()
         self._sleep(self.delay.one_way(request_size))
         results: dict[str, object] = {}
+        admission = self.admission
         for dst in dsts:
             try:
                 self._check_reachable(src, dst)
                 handler = self._handler_for(dst)
-                with self._target_locks[dst]:
-                    result = handler.handle(op, *args, **kwargs)
+                if admission is not None:
+                    admission.acquire(dst, op=op)
+                try:
+                    with self._target_locks[dst]:
+                        result = handler.handle(op, *args, **kwargs)
+                finally:
+                    if admission is not None:
+                        admission.release(dst)
             except Exception as exc:  # delivered per-destination
                 results[dst] = exc
                 if metrics.enabled:

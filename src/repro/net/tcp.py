@@ -55,11 +55,18 @@ def _recv_frame(sock: socket.socket) -> bytes:
 
 
 class _NodeServer:
-    """Listener + per-connection threads for one registered handler."""
+    """Listener + per-connection threads for one registered handler.
 
-    def __init__(self, node_id: str, handler: RpcHandler):
+    ``admission`` is a zero-argument callable returning the transport's
+    current :class:`~repro.net.backpressure.AdmissionController` (or
+    None) — looked up per request so enabling admission control after
+    registration still takes effect.
+    """
+
+    def __init__(self, node_id: str, handler: RpcHandler, admission=None):
         self.node_id = node_id
         self.handler = handler
+        self.admission = admission or (lambda: None)
         self.listener = socket.create_server(("127.0.0.1", 0))
         self.port = self.listener.getsockname()[1]
         self._open_conns: set[socket.socket] = set()
@@ -91,7 +98,24 @@ class _NodeServer:
                 request = pickle.loads(_recv_frame(conn))
                 op, args, kwargs = request
                 try:
-                    result = ("ok", self.handler.handle(op, *args, **kwargs))
+                    controller = self.admission()
+                    if controller is not None:
+                        # Shed before service: the reject costs the
+                        # node no handler time, and NodeBusyError
+                        # travels back as an ordinary ("err", exc).
+                        controller.acquire(self.node_id, op=op)
+                        try:
+                            result = (
+                                "ok",
+                                self.handler.handle(op, *args, **kwargs),
+                            )
+                        finally:
+                            controller.release(self.node_id)
+                    else:
+                        result = (
+                            "ok",
+                            self.handler.handle(op, *args, **kwargs),
+                        )
                 except Exception as exc:  # deliver server-side errors
                     result = ("err", exc)
                 _send_frame(conn, pickle.dumps(result))
@@ -138,7 +162,9 @@ class TcpTransport(Transport):
                 old = self._servers.pop(node_id, None)
             if old is not None:
                 old.close()
-            server = _NodeServer(node_id, handler)
+            server = _NodeServer(
+                node_id, handler, admission=lambda: self.admission
+            )
             with self._lock:
                 self._servers[node_id] = server
 

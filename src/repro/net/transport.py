@@ -22,6 +22,7 @@ from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterable
 
 from repro.errors import (
+    NodeBusyError,
     NodeUnavailableError,
     PartitionedError,
     RpcTimeoutError,
@@ -37,6 +38,8 @@ FailureListener = Callable[[str], None]
 def classify_outcome(exc: BaseException) -> str:
     """Metric ``result`` label for a failed RPC (order matters: the
     timeout/partition classes subclass :class:`NodeUnavailableError`)."""
+    if isinstance(exc, NodeBusyError):
+        return "busy"
     if isinstance(exc, RpcTimeoutError):
         return "timeout"
     if isinstance(exc, PartitionedError):
@@ -63,6 +66,11 @@ class Transport(ABC):
         #: wiring.  Hot paths guard on ``metrics.enabled`` so the default
         #: costs one attribute check per RPC.
         self.metrics = NULL_REGISTRY
+        #: Optional server-side admission control
+        #: (:class:`~repro.net.backpressure.AdmissionController`).  When
+        #: set, transports bound each node's in-flight requests and shed
+        #: the excess with :class:`~repro.errors.NodeBusyError`.
+        self.admission = None
         self._lock = threading.RLock()
         self._handlers: dict[str, RpcHandler] = {}
         self._members: set[str] = set()
@@ -186,6 +194,9 @@ class Transport(ABC):
         result = "ok"
         try:
             return self._call_impl(src, dst, op, *args, timeout=timeout, **kwargs)
+        except NodeBusyError:
+            result = "busy"
+            raise
         except RpcTimeoutError:
             result = "timeout"
             raise
@@ -238,6 +249,6 @@ class Transport(ABC):
         for dst in dsts:
             try:
                 results[dst] = self.call(src, dst, op, *args, timeout=timeout, **kwargs)
-            except NodeUnavailableError as exc:
+            except (NodeUnavailableError, NodeBusyError) as exc:
                 results[dst] = exc
         return results

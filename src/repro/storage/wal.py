@@ -134,7 +134,7 @@ def decode_frame(data: bytes) -> tuple[int, dict] | None:
 class MediaEvent:
     """One injected disk fault, for the ledger."""
 
-    kind: str  # torn | lost
+    kind: str  # torn | lost | flip
     tag: str  # media identity (e.g. "slot3")
     crash_no: int
     lsn: int
@@ -159,18 +159,25 @@ class MediaFaultPlan:
     torn: float = 0.0
     #: Probability an exposed frame is lost outright (reordered away).
     lost: float = 0.0
+    #: Probability an exposed frame takes a silent bit flip in its
+    #: block image.  The frame is re-sealed with a fresh CRC, so replay
+    #: parses it cleanly — only an end-to-end parity scrub can tell.
+    flip: float = 0.0
     #: How many tail frames are exposed to faults at each crash.
     exposure: int = 4
 
     def fate(self, tag: str, crash_no: int, position: int) -> tuple[str, float]:
         """Fate of the ``position``-th exposed frame (0 = oldest): one
-        of ``keep``/``torn``/``lost`` plus the torn-fraction draw."""
+        of ``keep``/``torn``/``lost``/``flip`` plus the secondary draw
+        (torn fraction, or flip bit-position fraction)."""
         key = (self.seed, tag, crash_no, position)
         u = _unit(*key, "fate")
         if u < self.lost:
             return "lost", 0.0
         if u < self.lost + self.torn:
             return "torn", _unit(*key, "frac")
+        if u < self.lost + self.torn + self.flip:
+            return "flip", _unit(*key, "bit")
         return "keep", 0.0
 
 
@@ -224,9 +231,9 @@ class SimMedia:
 
     def crash(self, force: str | None = None) -> None:
         """Power-cut: un-synced frames vanish; the exposed synced tail
-        draws fates from the plan.  ``force`` ("torn"/"lost") damages
-        the last synced frame unconditionally — used by tests and the
-        soak's forced-degradation cycle."""
+        draws fates from the plan.  ``force`` ("torn"/"lost"/"flip")
+        damages the last synced frame unconditionally — used by tests
+        and the soak's forced-degradation cycle."""
         with self._lock:
             self.crash_count += 1
             self._pending.clear()
@@ -251,6 +258,17 @@ class SimMedia:
                         MediaEvent("torn", self.tag, self.crash_count, lsn)
                     )
                     continue
+                if fate == "flip":
+                    flipped = _flip_block_bit(frame, frac)
+                    if flipped is not None:
+                        kept.append(flipped)
+                        self.fault_ledger.append(
+                            MediaEvent(
+                                "flip", self.tag, self.crash_count, lsn
+                            )
+                        )
+                        continue
+                    # Frame unparseable or blockless: nothing to flip.
                 kept.append(frame)
             self._synced = kept
 
@@ -263,6 +281,27 @@ def _frame_lsn(frame: bytes) -> int:
     if len(frame) < 8:
         return -1
     return int.from_bytes(frame[:8], "big")
+
+
+def _flip_block_bit(frame: bytes, frac: float) -> bytes | None:
+    """Silent corruption: flip one bit of the record's block image and
+    re-seal the frame with a fresh CRC, so replay parses it cleanly and
+    only an end-to-end parity scrub can detect the damage.  ``frac``
+    (a unit draw) selects which bit.  None when the frame has no block
+    to corrupt (already torn, or unparseable)."""
+    parsed = decode_frame(frame)
+    if parsed is None:
+        return None
+    lsn, record = parsed
+    block = record.get("block")
+    if not block:
+        return None
+    data = bytearray(block)
+    bit = min(int(frac * len(data) * 8), len(data) * 8 - 1)
+    data[bit // 8] ^= 1 << (bit % 8)
+    record = dict(record)
+    record["block"] = bytes(data)
+    return encode_frame(lsn, record)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,125 @@
+"""Backpressure primitives: jittered backoff, retry budgets, admission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NodeBusyError, NodeUnavailableError
+from repro.net.backpressure import (
+    AdmissionController,
+    BackoffPolicy,
+    RetryBudget,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestBackoffPolicy:
+    def test_delays_bounded(self):
+        policy = BackoffPolicy(base=0.001, cap=0.05, seed=3)
+        delays = [policy.next_delay(i) for i in range(200)]
+        assert all(0.001 <= d <= 0.05 for d in delays)
+
+    def test_same_seed_same_sequence(self):
+        a = BackoffPolicy(base=0.001, cap=0.05, seed=9)
+        b = BackoffPolicy(base=0.001, cap=0.05, seed=9)
+        assert [a.next_delay(i) for i in range(50)] == [
+            b.next_delay(i) for i in range(50)
+        ]
+
+    def test_different_seeds_decorrelate(self):
+        a = BackoffPolicy(base=0.001, cap=0.05, seed=1)
+        b = BackoffPolicy(base=0.001, cap=0.05, seed=2)
+        assert [a.next_delay(i) for i in range(20)] != [
+            b.next_delay(i) for i in range(20)
+        ]
+
+    def test_attempt_zero_resets_growth(self):
+        policy = BackoffPolicy(base=0.001, cap=10.0, seed=5)
+        for i in range(10):
+            policy.next_delay(i)
+        grown = policy.next_delay(10)
+        fresh = policy.next_delay(0)
+        # Growth compounds toward the cap; a reset starts over from base.
+        assert fresh <= 0.003 or fresh < grown
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=0.0, cap=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=0.1, cap=0.01)
+
+
+class TestRetryBudget:
+    def test_spend_until_exhausted(self):
+        budget = RetryBudget(3)
+        assert [budget.spend() for _ in range(5)] == [
+            True, True, True, False, False,
+        ]
+
+    def test_deposit_refills_fractionally(self):
+        budget = RetryBudget(2, refill=0.5)
+        assert budget.spend() and budget.spend()
+        assert not budget.spend()
+        budget.deposit()
+        assert not budget.spend()  # 0.5 tokens: still under a whole one
+        budget.deposit()
+        assert budget.spend()
+
+    def test_deposit_never_exceeds_capacity(self):
+        budget = RetryBudget(2, refill=1.0)
+        for _ in range(10):
+            budget.deposit()
+        assert budget.tokens() == 2
+
+    def test_exhaustion_counted_in_metrics(self):
+        registry = MetricsRegistry()
+        budget = RetryBudget(1)
+        budget.metrics = registry
+        budget.spend()
+        budget.spend()
+        budget.spend()
+        assert registry.counter_value("retry_budget_exhausted_total") == 2
+
+
+class TestAdmissionController:
+    def test_sheds_above_limit(self):
+        admission = AdmissionController(limit=2)
+        admission.acquire("storage-0")
+        admission.acquire("storage-0")
+        with pytest.raises(NodeBusyError):
+            admission.acquire("storage-0")
+
+    def test_busy_is_not_unavailable(self):
+        """The whole point of the distinct error: overload must never
+        enter the suspicion/remap path."""
+        admission = AdmissionController(limit=1)
+        admission.acquire("storage-0")
+        with pytest.raises(NodeBusyError) as excinfo:
+            admission.acquire("storage-0")
+        assert not isinstance(excinfo.value, NodeUnavailableError)
+
+    def test_release_reopens_the_queue(self):
+        admission = AdmissionController(limit=1)
+        admission.acquire("storage-0")
+        admission.release("storage-0")
+        admission.acquire("storage-0")  # no raise
+
+    def test_limits_are_per_node(self):
+        admission = AdmissionController(limit=1)
+        admission.acquire("storage-0")
+        admission.acquire("storage-1")  # other node unaffected
+        assert admission.inflight("storage-0") == 1
+        assert admission.inflight("storage-1") == 1
+
+    def test_rejects_counted(self):
+        registry = MetricsRegistry()
+        admission = AdmissionController(limit=1)
+        admission.metrics = registry
+        admission.acquire("storage-0", op="read")
+        for _ in range(3):
+            with pytest.raises(NodeBusyError):
+                admission.acquire("storage-0", op="read")
+        assert admission.total_rejects() == 3
+        assert registry.counter_value(
+            "admission_rejects_total", node="storage-0", op="read"
+        ) == 3
