@@ -1,5 +1,14 @@
-"""Closed-form analysis: Section 4 resiliency theorems, §6.5 overhead."""
+"""Closed-form analysis: Section 4 resiliency theorems, §6.5 overhead,
+plus executable invariant packs (quiescence, regular registers)."""
 
+from repro.analysis.invariants import (
+    STRIPE_INVARIANTS,
+    InvariantViolation,
+    check_history,
+    check_quiescence,
+    check_stripe,
+    stripe_states,
+)
 from repro.analysis.overhead import (
     OverheadModel,
     erasure_storage_blowup,
@@ -29,6 +38,12 @@ from repro.analysis.resiliency import (
 )
 
 __all__ = [
+    "InvariantViolation",
+    "STRIPE_INVARIANTS",
+    "check_history",
+    "check_quiescence",
+    "check_stripe",
+    "stripe_states",
     "LatencySummary",
     "OverheadModel",
     "ResiliencyEntry",

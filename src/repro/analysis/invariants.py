@@ -1,0 +1,195 @@
+"""Quiescence invariant pack for crash-schedule exploration.
+
+After any sequence of crashes, companion faults and repairs, a stripe
+that the monitor/recovery/GC pipeline has driven to quiescence must
+look as if nothing ever happened.  This module states that as six
+checkable stripe invariants plus a history invariant:
+
+* ``no_stripe_locked`` — every position is UNL: no recovery died
+  holding (or leaking) locks, no release was dropped.
+* ``all_norm``         — no position is INIT garbage or RECONS limbo.
+* ``epochs_agree``     — all positions carry one epoch (recovery's
+  finalize is all-or-nothing at quiescence).
+* ``parity``           — the blocks satisfy the erasure-code equations.
+* ``gc_collectable``   — every tid still in a recentlist/oldlist is
+  present at its data position and at every redundant position, i.e.
+  its write landed everywhere it was addressed.  This is the G-set
+  property ``find_consistent`` relies on and the precondition for any
+  later GC pass to collect the tid; a tid violating it belongs to a
+  partial write recovery failed to resolve.
+* ``tid_consistency``  — recovery's own oracle agrees: the maximal
+  consistent set is all n positions.
+* ``register_history`` — the recorded operation history satisfies the
+  multi-writer regular-register condition (§3.1).
+
+The crash explorer (``repro.chaos.explorer``) runs the pack after every
+schedule; targeted tests use individual checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analysis.registers import Op, check_regular
+from repro.client.consistency import find_consistent
+from repro.ids import BlockAddr, Tid
+from repro.storage.state import BlockState, LockMode, OpMode, StateSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports us not)
+    from repro.core.cluster import Cluster
+
+#: Every stripe-level invariant, in check order.
+STRIPE_INVARIANTS: tuple[str, ...] = (
+    "no_stripe_locked",
+    "all_norm",
+    "epochs_agree",
+    "parity",
+    "gc_collectable",
+    "tid_consistency",
+)
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One failed invariant; ``stripe`` is None for history checks."""
+
+    invariant: str
+    stripe: int | None
+    detail: str
+
+    def __str__(self) -> str:
+        where = f"stripe {self.stripe}" if self.stripe is not None else "history"
+        return f"[{self.invariant}] {where}: {self.detail}"
+
+
+def stripe_states(
+    cluster: "Cluster", stripe: int, volume: str | None = None
+) -> dict[int, BlockState]:
+    """Direct (non-RPC) per-position state of one stripe, by position."""
+    volume = volume or cluster.volume_name
+    out: dict[int, BlockState] = {}
+    for j in range(cluster.code.n):
+        slot = cluster.layout.node_of_stripe_index(stripe, j)
+        out[j] = cluster.node_for_slot(slot).peek(BlockAddr(volume, stripe, j))
+    return out
+
+
+def _snapshots(states: dict[int, BlockState]) -> dict[int, StateSnapshot]:
+    return {
+        j: StateSnapshot(
+            opmode=st.opmode,
+            recons_set=st.recons_set,
+            oldlist=frozenset(st.oldlist),
+            recentlist=frozenset(st.recentlist),
+            block=None if st.opmode is OpMode.INIT else st.block,
+        )
+        for j, st in states.items()
+    }
+
+
+def _tid_positions(tid: Tid, k: int, n: int) -> set[int]:
+    """Positions a write with this tid addressed: its data block plus
+    every redundant block."""
+    return {tid.index} | set(range(k, n))
+
+
+def check_stripe(
+    cluster: "Cluster",
+    stripe: int,
+    volume: str | None = None,
+    invariants: tuple[str, ...] = STRIPE_INVARIANTS,
+) -> list[InvariantViolation]:
+    """Run the selected stripe invariants; returns all violations."""
+    k, n = cluster.code.k, cluster.code.n
+    states = stripe_states(cluster, stripe, volume)
+    out: list[InvariantViolation] = []
+
+    def fail(invariant: str, detail: str) -> None:
+        out.append(InvariantViolation(invariant, stripe, detail))
+
+    if "no_stripe_locked" in invariants:
+        locked = {
+            j: st.lmode.value
+            for j, st in states.items()
+            if st.lmode is not LockMode.UNL
+        }
+        if locked:
+            holders = {j: states[j].lid for j in locked}
+            fail(
+                "no_stripe_locked",
+                f"positions not UNL: {locked} (holders {holders})",
+            )
+    if "all_norm" in invariants:
+        off = {
+            j: st.opmode.value
+            for j, st in states.items()
+            if st.opmode is not OpMode.NORM
+        }
+        if off:
+            fail("all_norm", f"positions out of NORM: {off}")
+    if "epochs_agree" in invariants:
+        epochs = {j: st.epoch for j, st in states.items()}
+        if len(set(epochs.values())) > 1:
+            fail("epochs_agree", f"divergent epochs: {epochs}")
+    if "parity" in invariants:
+        if all(st.opmode is OpMode.NORM for st in states.values()):
+            blocks = [states[j].block for j in range(n)]
+            if not cluster.code.is_consistent_stripe(blocks):
+                fail("parity", "blocks violate the code equations")
+        else:
+            fail("parity", "unverifiable: stripe has non-NORM positions")
+    if "gc_collectable" in invariants:
+        listed: dict[Tid, set[int]] = {}
+        for j, st in states.items():
+            for tid in st.recent_tids() | st.old_tids():
+                listed.setdefault(tid, set()).add(j)
+        for tid in sorted(listed, key=str):
+            missing = sorted(
+                pos
+                for pos in _tid_positions(tid, k, n)
+                if states[pos].opmode is OpMode.NORM
+                and tid not in states[pos].recent_tids()
+                and tid not in states[pos].old_tids()
+            )
+            if missing:
+                fail(
+                    "gc_collectable",
+                    f"tid {tid} (listed at {sorted(listed[tid])}) missing "
+                    f"from positions {missing}: its write never landed there",
+                )
+    if "tid_consistency" in invariants:
+        cset = find_consistent(_snapshots(states), k)
+        if cset != frozenset(range(n)):
+            fail(
+                "tid_consistency",
+                f"maximal consistent set {sorted(cset)} != all {n} positions",
+            )
+    return out
+
+
+def check_history(
+    history: list[Op], initial: object = None
+) -> list[InvariantViolation]:
+    """Regular-register check as an invariant (stripe None)."""
+    return [
+        InvariantViolation("register_history", None, str(v))
+        for v in check_regular(history, initial)
+    ]
+
+
+def check_quiescence(
+    cluster: "Cluster",
+    stripes: list[int] | range,
+    history: list[Op] | None = None,
+    initial: object = None,
+    invariants: tuple[str, ...] = STRIPE_INVARIANTS,
+    volume: str | None = None,
+) -> list[InvariantViolation]:
+    """The full pack: every stripe invariant plus the history check."""
+    out: list[InvariantViolation] = []
+    for stripe in stripes:
+        out.extend(check_stripe(cluster, stripe, volume, invariants))
+    if history is not None:
+        out.extend(check_history(history, initial))
+    return out

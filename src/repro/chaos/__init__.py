@@ -1,5 +1,17 @@
 """Chaos engineering harnesses: seeded soak testing under injected faults."""
 
+from repro.chaos.explorer import (
+    CrashStep,
+    ExplorerConfig,
+    ExplorerReport,
+    Schedule,
+    ScheduleOutcome,
+    load_schedule,
+    minimize_schedule,
+    run_explorer,
+    run_schedule,
+    save_schedule,
+)
 from repro.chaos.gray_soak import (
     GrayPhaseResult,
     GraySoakConfig,
@@ -14,8 +26,17 @@ from repro.chaos.restart_soak import (
     run_restart_soak,
 )
 from repro.chaos.soak import SoakConfig, SoakReport, run_soak
+from repro.crashpoints import CRASH_POINT_CATALOGUE, NULL_CRASHPOINTS, CrashPlan
 
 __all__ = [
+    "CRASH_POINT_CATALOGUE",
+    "CrashPlan",
+    "CrashStep",
+    "ExplorerConfig",
+    "ExplorerReport",
+    "NULL_CRASHPOINTS",
+    "Schedule",
+    "ScheduleOutcome",
     "GrayPhaseResult",
     "GraySoakConfig",
     "GraySoakReport",
@@ -25,7 +46,12 @@ __all__ = [
     "RestartSoakReport",
     "SoakConfig",
     "SoakReport",
+    "load_schedule",
+    "minimize_schedule",
+    "run_explorer",
     "run_gray_soak",
     "run_restart_soak",
+    "run_schedule",
     "run_soak",
+    "save_schedule",
 ]

@@ -18,6 +18,14 @@ Commands
                 the same stalled-node fault plan, hedged vs un-hedged,
                 proving hedged reads cut p99 with reproducible digests
                 (plus an admission-control overload burst)
+``explore``     deterministic crash-point exploration: kill a client at
+                every named protocol step x companion fault, drive the
+                survivors to quiescence, and check the invariant pack;
+                failures are delta-debugged to minimal replayable
+                JSON schedules
+``replay-schedule`` re-execute a saved (minimized) crash schedule
+                bit-for-bit and compare its verdict against the one
+                recorded at save time
 ``metrics``     run a small instrumented workload and print the metrics
                 registry (Prometheus exposition or JSON), or re-render
                 and validate a saved snapshot with ``--from``
@@ -32,6 +40,12 @@ import sys
 
 from repro.analysis.resiliency import resiliency_profile
 from repro.baselines.costs import format_cost_table
+from repro.chaos.explorer import (
+    ExplorerConfig,
+    load_schedule,
+    run_explorer,
+    run_schedule,
+)
 from repro.chaos.gray_soak import GraySoakConfig, run_gray_soak
 from repro.chaos.restart_soak import RestartSoakConfig, run_restart_soak
 from repro.chaos.soak import SoakConfig, run_soak
@@ -218,6 +232,55 @@ def cmd_restart_soak(args: argparse.Namespace) -> int:
             handle.write(snapshot_to_json(report.restart.metrics) + "\n")
         print(f"  metrics snapshot: {args.metrics_out}")
     return 0 if report.passed else 1
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    if args.schedules is not None:
+        schedules = args.schedules
+    else:
+        schedules = 4 if args.smoke else 12
+    config = ExplorerConfig(
+        k=args.k,
+        n=args.n,
+        block_size=args.block_size,
+        seed=args.seed,
+        schedules=schedules,
+        max_depth=args.depth,
+        exhaustive=not args.no_exhaustive,
+        inject_regression=args.inject_regression,
+        artifact_dir=args.artifact_dir,
+    )
+    obs = None if args.no_observe else Observability.create()
+    report = run_explorer(config, obs=obs)
+    print(report.summary())
+    if args.metrics_out and obs is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(snapshot_to_json(obs.registry.snapshot()) + "\n")
+        print(f"  metrics snapshot: {args.metrics_out}")
+    return 0 if report.passed else 1
+
+
+def cmd_replay_schedule(args: argparse.Namespace) -> int:
+    try:
+        config, schedule, expect = load_schedule(args.schedule)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"invalid schedule file: {exc}", file=sys.stderr)
+        return 1
+    obs = None if args.no_observe else Observability.create()
+    outcome = run_schedule(config, schedule, obs=obs)
+    print(f"schedule: {schedule.key()}")
+    print(f"result: {outcome.result}")
+    for violation in outcome.violations:
+        print(f"  VIOLATION: {violation}")
+    if expect is not None:
+        verdict = outcome.verdict()
+        if verdict == expect:
+            print("verdict matches the one recorded at save time")
+        else:
+            print(f"VERDICT MISMATCH: expected {expect}, got {verdict}")
+            return 1
+        return 0
+    return 0 if not outcome.failed else 1
 
 
 def _demo_observed_workload(writes: int = 4) -> Observability:
@@ -432,6 +495,47 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the admission-control overload burst")
     _add_observe_args(gray)
     gray.set_defaults(func=cmd_gray_soak)
+
+    explore = sub.add_parser(
+        "explore",
+        help="crash-point schedule exploration + quiescence invariants",
+    )
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument("--schedules", type=int, default=None,
+                         help="random multi-point schedules on top of the "
+                              "exhaustive sweep (default 12; 4 with --smoke)")
+    explore.add_argument("--smoke", action="store_true",
+                         help="short CI-sized run")
+    explore.add_argument("--depth", type=int, default=3,
+                         help="max crash points per random schedule")
+    explore.add_argument("--k", type=int, default=2)
+    explore.add_argument("--n", type=int, default=4)
+    explore.add_argument("--block-size", type=int, default=16)
+    explore.add_argument("--no-exhaustive", action="store_true",
+                         help="skip the single-point point x companion sweep")
+    explore.add_argument("--inject-regression", action="store_true",
+                         help="re-introduce the dropped-setlock-release bug "
+                              "(the explorer must catch and minimize it)")
+    explore.add_argument("--artifact-dir", metavar="DIR", default=None,
+                         help="directory for minimized-schedule JSON and "
+                              "flight dumps on failure")
+    explore.add_argument("--no-observe", action="store_true",
+                         help="run without the metrics registry / tracer")
+    explore.add_argument("--metrics-out", metavar="FILE", default=None,
+                         help="write the final metrics snapshot as JSON "
+                              "(readable back via 'repro metrics --from FILE')")
+    explore.set_defaults(func=cmd_explore)
+
+    replay = sub.add_parser(
+        "replay-schedule",
+        help="re-execute a saved crash schedule and compare verdicts",
+    )
+    replay.add_argument("schedule", metavar="FILE",
+                        help="schedule JSON written by 'repro explore' "
+                             "(or repro.chaos.save_schedule)")
+    replay.add_argument("--no-observe", action="store_true",
+                        help="run without the metrics registry attached")
+    replay.set_defaults(func=cmd_replay_schedule)
 
     metrics = sub.add_parser(
         "metrics",

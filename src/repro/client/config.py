@@ -94,6 +94,14 @@ class ClientConfig:
     hedge_delay_floor: float = 0.005
     hedge_delay_multiplier: float = 4.0
 
+    #: Test-only seeded regression: when True, ``_setlock_robust``
+    #: silently drops the release RPC — a faithful reintroduction of
+    #: the pre-PR-2 bug where a dropped setlock release wedged stripes
+    #: forever.  Exists so the crash-point explorer's own detection
+    #: path (catch → delta-debug → minimal schedule) can be exercised
+    #: against a known-real bug.  Never set outside tests/explorer.
+    test_drop_setlock_release: bool = False
+
     #: Extension beyond the paper: when a read hits an out-of-service
     #: block, first try to *decode* the value from the surviving blocks
     #: (read-only, no locks, no repair) before falling back to full

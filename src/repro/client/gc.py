@@ -57,8 +57,14 @@ class GcManager:
             self._old = {}
         processed = 0
         next_old: dict[int, dict[int, set[Tid]]] = {}
+        cp = self.client.crashpoints
         for stripe in sorted(set(pending) | set(old)):
             done_old = self._phase(stripe, old.get(stripe, {}), "gc_old")
+            if cp.enabled:
+                # A crash here is the two-phase claim's worst case: the
+                # older generation already discarded, the newer one still
+                # in recentlists — and still collectable by any client.
+                cp.hit("gc.between_phases", stripe=stripe)
             done_recent = self._phase(stripe, pending.get(stripe, {}), "gc_recent")
             processed += len(done_old) + len(done_recent)
             # Batches that went through gc_recent become next round's

@@ -73,6 +73,7 @@ class Monitor:
         delta behind, since it answers probes as a normal NORM node.
         """
         report = MonitorReport()
+        cp = self.client.crashpoints
         for stripe in stripes:
             needs = self._stripe_needs_recovery(stripe, report)
             if not needs and deep and self._stripe_delta_behind(stripe):
@@ -83,6 +84,8 @@ class Monitor:
                     self.client.tracer.emit(
                         self.source, "monitor.trigger_recovery", stripe=stripe
                     )
+                if cp.enabled:
+                    cp.hit("monitor.before_recover", stripe=stripe)
                 self.client._start_recovery(stripe)
                 report.recovered_stripes.append(stripe)
         metrics = self.client.metrics

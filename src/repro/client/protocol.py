@@ -30,6 +30,7 @@ import numpy as np
 from repro.client.config import ClientConfig, WriteStrategy
 from repro.client.consistency import find_consistent
 from repro.client.health import HealthRegistry
+from repro.crashpoints import NULL_CRASHPOINTS
 from repro.directory import Directory
 from repro.errors import (
     CircuitOpenError,
@@ -123,6 +124,10 @@ class ProtocolClient:
         # Structured tracing (repro.tracing.Tracer); no-op by default.
         self.tracer = NULL_TRACER
         self.metrics = NULL_REGISTRY
+        # Named crash/pause points (repro.crashpoints); no-op by default.
+        # The crash explorer swaps in a CrashPlan to kill or freeze this
+        # client at a specific protocol step.
+        self.crashpoints = NULL_CRASHPOINTS
         self._trace_ids = TraceIdAllocator(client_id)
         self._seq = 0
         self._seq_lock = threading.Lock()
@@ -499,6 +504,7 @@ class ProtocolClient:
         redundant = tuple(range(self.k, self.n))
         full = frozenset((index,) + redundant)
         deadline = Deadline.after(self.config.op_deadline)
+        cp = self.crashpoints
         for attempt in range(self.config.max_write_attempts):
             if deadline.expired():
                 if root is not None:
@@ -525,12 +531,17 @@ class ProtocolClient:
             )
             if swap is None:
                 continue  # recovery intervened; retry with a fresh tid
+            if cp.enabled:
+                cp.hit("write.after_swap", stripe=stripe, tid=str(ntid))
             diff = gf.sub_block(value, swap.block)  # v - w, to be scaled
             done = self._run_adds(
                 stripe, index, ntid, swap, diff, redundant,
                 trace_parent=swap_ctx, deadline=deadline,
             )
             if done == full:
+                if cp.enabled:
+                    cp.hit("write.before_note_completed", stripe=stripe,
+                           tid=str(ntid))
                 self._note_completed(stripe, ntid, done)
                 if root is not None:
                     tracer.emit(self.client_id, "write.end", stripe=stripe,
@@ -686,12 +697,19 @@ class ProtocolClient:
 
         ordered = sorted(targets)
         if strategy is WriteStrategy.SERIAL:
+            cp = self.crashpoints
             results: dict[int, AddResult | Exception] = {}
             for j in ordered:
                 try:
                     results[j] = one(j)
                 except (NodeUnavailableError, NodeBusyError) as exc:
                     results[j] = exc
+                # Per-add granularity (which add-subset completed) only
+                # exists for SERIAL; batch strategies land between
+                # write.after_swap and write.before_note_completed.
+                if cp.enabled:
+                    cp.hit("write.after_add", stripe=stripe, tid=str(ntid),
+                           position=j)
             return results
         if strategy is WriteStrategy.PARALLEL:
             return pfor(ordered, one)
@@ -813,9 +831,13 @@ class ProtocolClient:
         Raises :class:`DataLossError` when fewer than k consistent
         blocks exist (beyond the failure model)."""
         metrics = self.metrics
+        cp = self.crashpoints
         start = time.monotonic()
         if not self._phase1_lock_all(stripe):
             return False
+        if cp.enabled:
+            # Between phase 1's setlock and phase 2's state fetch.
+            cp.hit("recovery.after_phase1", stripe=stripe)
         if metrics.enabled:
             metrics.histogram(
                 "recovery_phase_seconds", phase="lock_all"
@@ -853,6 +875,7 @@ class ProtocolClient:
         trylock re-grants to the same caller, so retrying is safe —
         while giving up mid-acquisition would leak locks this client is
         the only party able to clear."""
+        cp = self.crashpoints
         acquired: list[tuple[int, LockMode]] = []
         for j in range(self.n):
             result = None
@@ -882,6 +905,8 @@ class ProtocolClient:
                 pfor(acquired, release)
                 return False
             acquired.append((j, result.oldlmode))
+            if cp.enabled:
+                cp.hit("recovery.phase1.after_lock", stripe=stripe, position=j)
         return True
 
     def _setlock_robust(self, stripe: int, pos: int, lm: LockMode) -> None:
@@ -889,6 +914,8 @@ class ProtocolClient:
         release would leak a lock the same client can never reclaim,
         wedging the stripe for every future recovery; an unavailable
         node needs no release (its replacement comes up unlocked)."""
+        if self.config.test_drop_setlock_release and lm is LockMode.UNL:
+            return  # seeded regression: drop releases (see ClientConfig)
         for _ in range(self.config.max_op_attempts):
             try:
                 self._call(
@@ -926,6 +953,7 @@ class ProtocolClient:
     def _phase2_find_consistent(
         self, stripe: int, exclude: frozenset[int] = frozenset()
     ) -> tuple[dict[int, StateSnapshot], frozenset[int]]:
+        cp = self.crashpoints
         data = self._get_states(stripe, list(range(self.n)))
         # Pick up a crashed recovery: someone already chose a consistent
         # set and started writing it back (opmode RECONS).
@@ -953,6 +981,8 @@ class ProtocolClient:
             # Weaken locks on redundant nodes so outstanding WRITEs can
             # finish their adds and blocks become consistent.
             self._set_locks(stripe, range(self.k, self.n), LockMode.L0)
+            if cp.enabled:
+                cp.hit("recovery.phase2.after_weaken", stripe=stripe)
             while len(cset) < target:
                 waits += 1
                 if waits > self.config.recovery_wait_limit:
@@ -1003,6 +1033,10 @@ class ProtocolClient:
     def _phase3_reconstruct(
         self, stripe: int, data: dict[int, StateSnapshot], cset: frozenset[int]
     ) -> None:
+        cp = self.crashpoints
+        if cp.enabled:
+            cp.hit("recovery.phase3.before_reconstruct", stripe=stripe,
+                   cset=sorted(cset))
         available = {j: data[j].block for j in cset if data[j].block is not None}
         blocks = self.code.reconstruct_stripe(available)
 
@@ -1033,6 +1067,9 @@ class ProtocolClient:
                 f"stripe {stripe}: could not write recovered blocks to {failed}"
             )
         new_epoch = max(numeric) + 1
+        if cp.enabled:
+            cp.hit("recovery.phase3.before_finalize", stripe=stripe,
+                   epoch=new_epoch)
 
         def finish(j: int) -> None:
             for _ in range(self.config.max_op_attempts):

@@ -102,6 +102,26 @@ class DataLossError(RecoveryFailedError):
     """
 
 
+class ClientCrash(BaseException):
+    """Simulated fail-stop death of a client at a named crash point.
+
+    Deliberately a :class:`BaseException`, like ``KeyboardInterrupt``:
+    a crashed client does not run cleanup, so this must sail through
+    every ``except Exception`` handler in the protocol (which would
+    otherwise release locks, retry the op, or record a graceful
+    failure — none of which a dead client can do).  Only the crash
+    harness that armed the point catches it; the harness then reports
+    the death to the transport (``Cluster.crash_client``) so storage
+    nodes expire the victim's locks, exactly as for a real crash.
+    """
+
+    def __init__(self, point: str, hit: int, detail: dict | None = None):
+        super().__init__(f"client crashed at {point!r} (hit {hit})")
+        self.point = point
+        self.hit = hit
+        self.detail = dict(detail or {})
+
+
 class WriteAbortedError(ReproError):
     """A WRITE exhausted its retry budget without completing."""
 

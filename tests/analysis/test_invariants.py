@@ -1,0 +1,135 @@
+"""The quiescence invariant pack: each invariant fires on exactly the
+damage it names, and a healthy stripe passes the whole pack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.invariants import (
+    STRIPE_INVARIANTS,
+    check_history,
+    check_quiescence,
+    check_stripe,
+    stripe_states,
+)
+from repro.analysis.registers import Op
+from repro.core.cluster import Cluster
+from repro.ids import Tid
+from repro.storage.state import LockMode, OpMode, TidEntry
+
+
+@pytest.fixture
+def written_cluster() -> Cluster:
+    cluster = Cluster(k=2, n=4, block_size=32)
+    volume = cluster.client("writer")
+    volume.write_block(0, b"invariant pack block 0")
+    volume.write_block(1, b"invariant pack block 1")
+    return cluster
+
+
+def invariants_failed(cluster: Cluster, stripe: int = 0) -> set[str]:
+    return {v.invariant for v in check_stripe(cluster, stripe)}
+
+
+class TestHealthyStripe:
+    def test_clean_stripe_passes_every_invariant(self, written_cluster):
+        assert check_stripe(written_cluster, 0) == []
+
+    def test_check_quiescence_covers_stripes_and_history(self, written_cluster):
+        history = [
+            Op("write", 0, b"v", 1.0, 2.0),
+            Op("read", 0, b"v", 3.0, 4.0),
+        ]
+        assert (
+            check_quiescence(written_cluster, [0], history, initial=None) == []
+        )
+
+    def test_stripe_states_covers_all_positions(self, written_cluster):
+        states = stripe_states(written_cluster, 0)
+        assert sorted(states) == [0, 1, 2, 3]
+
+
+class TestEachInvariantFires:
+    def test_leaked_lock(self, written_cluster):
+        state = stripe_states(written_cluster, 0)[1]
+        state.lmode = LockMode.L1
+        state.lid = "leaker"
+        assert "no_stripe_locked" in invariants_failed(written_cluster)
+
+    def test_init_position(self, written_cluster):
+        state = stripe_states(written_cluster, 0)[3]
+        state.opmode = OpMode.INIT
+        failed = invariants_failed(written_cluster)
+        assert "all_norm" in failed
+        # Parity cannot be verified over a non-NORM stripe; that is a
+        # failure at quiescence, not a pass.
+        assert "parity" in failed
+
+    def test_divergent_epochs(self, written_cluster):
+        state = stripe_states(written_cluster, 0)[2]
+        state.epoch += 1
+        assert "epochs_agree" in invariants_failed(written_cluster)
+
+    def test_corrupt_block(self, written_cluster):
+        state = stripe_states(written_cluster, 0)[0]
+        state.block = np.bitwise_xor(state.block, 0xFF)
+        assert "parity" in invariants_failed(written_cluster)
+
+    def test_stranded_tid(self, written_cluster):
+        # A tid listed at one redundant position but absent from its data
+        # position models a partial write recovery failed to resolve.
+        stranded = Tid(seq=99, index=0, client="ghost")
+        state = stripe_states(written_cluster, 0)[2]
+        state.recentlist.add(TidEntry(stranded, seq_time=99, wall_time=0.0))
+        failed = invariants_failed(written_cluster)
+        assert "gc_collectable" in failed
+        assert "tid_consistency" in failed
+
+    def test_selected_invariants_only(self, written_cluster):
+        state = stripe_states(written_cluster, 0)[1]
+        state.lmode = LockMode.L1
+        only_parity = check_stripe(written_cluster, 0, invariants=("parity",))
+        assert only_parity == []
+
+
+class TestHistoryInvariant:
+    def test_regular_history_passes(self):
+        history = [
+            Op("write", 0, b"a", 1.0, 2.0),
+            Op("read", 0, b"a", 3.0, 4.0),
+        ]
+        assert check_history(history) == []
+
+    def test_stale_read_fails(self):
+        history = [
+            Op("write", 0, b"a", 1.0, 2.0),
+            Op("write", 0, b"b", 3.0, 4.0),
+            Op("read", 0, b"a", 5.0, 6.0),  # reads a superseded value
+        ]
+        violations = check_history(history)
+        assert violations
+        assert all(v.invariant == "register_history" for v in violations)
+        assert all(v.stripe is None for v in violations)
+
+    def test_violation_str_names_stripe_or_history(self, written_cluster):
+        state = stripe_states(written_cluster, 0)[1]
+        state.lmode = LockMode.L1
+        (violation,) = [
+            v
+            for v in check_stripe(written_cluster, 0)
+            if v.invariant == "no_stripe_locked"
+        ]
+        assert "stripe 0" in str(violation)
+
+
+class TestInvariantOrder:
+    def test_pack_lists_every_stripe_invariant(self):
+        assert set(STRIPE_INVARIANTS) == {
+            "no_stripe_locked",
+            "all_norm",
+            "epochs_agree",
+            "parity",
+            "gc_collectable",
+            "tid_consistency",
+        }

@@ -1,0 +1,64 @@
+"""A write that straddles a recovery must not corrupt the stripe: its
+adds carry the pre-recovery epoch and every node rejects them (counted
+as ``node_epoch_rejects_total``); the writer retries with a fresh swap
+and succeeds against the bumped epoch."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.invariants import check_stripe, stripe_states
+from repro.core.cluster import Cluster
+from repro.crashpoints import CrashPlan
+from repro.obs import Observability
+
+
+def counter_total(obs: Observability, name: str) -> float:
+    return sum(
+        series["value"]
+        for series in obs.registry.snapshot()["counters"]
+        if series["name"] == name
+    )
+
+
+class TestEpochStraddle:
+    def test_stale_epoch_adds_rejected_then_write_succeeds(self):
+        obs = Observability.create()
+        cluster = Cluster(k=2, n=4, block_size=32, observability=obs)
+        writer = cluster.protocol_client("straddler")
+        recoverer = cluster.protocol_client("recoverer")
+        writer.write(0, 0, np.full(32, 1, dtype=np.uint8))
+        epoch_before = stripe_states(cluster, 0)[0].epoch
+
+        # Pause the writer right after its swap and run a full recovery
+        # underneath it; finalize bumps every position's epoch, so the
+        # resumed adds (still carrying the swap-time epoch) are stale.
+        plan = CrashPlan()
+        plan.arm(
+            "write.after_swap",
+            action=lambda point, hit, detail: recoverer.recover(0),
+        )
+        writer.crashpoints = plan
+        rejects_before = counter_total(obs, "node_epoch_rejects_total")
+
+        value = np.full(32, 2, dtype=np.uint8)
+        writer.write(0, 0, value)
+
+        assert plan.fired("write.after_swap")
+        assert (
+            counter_total(obs, "node_epoch_rejects_total") > rejects_before
+        ), "no node rejected a stale-epoch add"
+        # The write went through on retry, against the bumped epoch.
+        states = stripe_states(cluster, 0)
+        assert all(st.epoch > epoch_before for st in states.values())
+        reader = cluster.protocol_client("reader")
+        assert bytes(reader.read(0, 0)) == bytes(value)
+        assert check_stripe(cluster, 0) == []
+
+    def test_epoch_rejects_are_not_counted_on_clean_writes(self):
+        obs = Observability.create()
+        cluster = Cluster(k=2, n=4, block_size=32, observability=obs)
+        writer = cluster.protocol_client("clean")
+        writer.write(0, 0, np.full(32, 3, dtype=np.uint8))
+        writer.write(0, 1, np.full(32, 4, dtype=np.uint8))
+        assert counter_total(obs, "node_epoch_rejects_total") == 0

@@ -109,6 +109,47 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Delta" in out
 
+    def test_explore_smoke(self, capsys):
+        assert main(["explore", "--smoke", "--seed", "1", "--no-observe"]) == 0
+        out = capsys.readouterr().out
+        assert "crash-point explorer: PASS" in out
+        assert "schedule digest:" in out
+
+    def test_explore_same_seed_same_digest(self, capsys):
+        args = ["explore", "--smoke", "--seed", "2", "--no-exhaustive",
+                "--no-observe"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        digest = [l for l in first.splitlines() if "digest" in l]
+        assert digest == [l for l in second.splitlines() if "digest" in l]
+
+    def test_explore_catches_seeded_regression_and_replays(
+        self, tmp_path, capsys
+    ):
+        artifacts = tmp_path / "artifacts"
+        assert main([
+            "explore", "--seed", "0", "--no-exhaustive", "--schedules", "6",
+            "--inject-regression", "--artifact-dir", str(artifacts),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "crash-point explorer: FAIL" in out
+        assert "no_stripe_locked" in out
+        assert "minimized" in out
+        minimized = sorted(artifacts.glob("minimized-*.json"))
+        assert minimized
+        assert (artifacts / "explorer-flight.json").exists()
+        # The minimized schedule replays to the recorded verdict.
+        assert main(["replay-schedule", str(minimized[0])]) == 0
+        replay_out = capsys.readouterr().out
+        assert "verdict matches" in replay_out
+
+    def test_replay_schedule_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["replay-schedule", str(bad)]) == 1
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["no-such-command"])
