@@ -26,6 +26,11 @@ def bench_record(name: str, **fields: object) -> None:
     _BENCH_RECORDS.append({"bench": name, **fields})
 
 
+# Benches import this helper into modules whose ``bench_*`` names pytest
+# collects; keep the helper itself out of collection.
+bench_record.__test__ = False
+
+
 @pytest.fixture
 def bench_obs(request):
     """Per-bench observability sinks (registry + tracer + flight).

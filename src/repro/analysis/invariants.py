@@ -22,6 +22,18 @@ checkable stripe invariants plus a history invariant:
 * ``register_history`` — the recorded operation history satisfies the
   multi-writer regular-register condition (§3.1).
 
+Elastic (placement-mode) clusters add two more:
+
+* ``placement_agrees`` — at quiescence the map, the directory and the
+  nodes tell one story: every stripe is committed at the latest map
+  generation, its slots are drawn from that generation's member pool,
+  each serving node's recorded generation matches, and no serving
+  position is retired.
+* ``rebalance_bytes_bounded`` — a soak-level accounting check (see
+  :func:`check_rebalance_bytes`): bytes moved by rebalancing stay
+  within a small constant factor of the bytes owned by the stripes
+  whose placement actually changed.
+
 The crash explorer (``repro.chaos.explorer``) runs the pack after every
 schedule; targeted tests use individual checks.
 """
@@ -70,7 +82,7 @@ def stripe_states(
     volume = volume or cluster.volume_name
     out: dict[int, BlockState] = {}
     for j in range(cluster.code.n):
-        slot = cluster.layout.node_of_stripe_index(stripe, j)
+        slot = cluster.slot_of(stripe, j)
         out[j] = cluster.node_for_slot(slot).peek(BlockAddr(volume, stripe, j))
     return out
 
@@ -165,7 +177,77 @@ def check_stripe(
                 "tid_consistency",
                 f"maximal consistent set {sorted(cset)} != all {n} positions",
             )
+    if "placement_agrees" in invariants:
+        placement = getattr(cluster, "placement", None)
+        if placement is not None:
+            vol = volume or cluster.volume_name
+            gen, slots = placement.lookup(stripe)
+            latest = placement.latest_gen
+            if gen != latest:
+                fail(
+                    "placement_agrees",
+                    f"committed at generation {gen}, map is at {latest}: "
+                    "migration unfinished at quiescence",
+                )
+            pool = placement.members(gen)
+            off_pool = [s for s in slots if s not in pool]
+            if off_pool:
+                fail(
+                    "placement_agrees",
+                    f"slots {off_pool} outside generation {gen}'s pool",
+                )
+            for j, slot in enumerate(slots):
+                node = cluster.node_for_slot(slot)
+                recorded = node.stripe_generation(vol, stripe)
+                if recorded is not None and recorded != gen:
+                    fail(
+                        "placement_agrees",
+                        f"node {node.node_id} (pos {j}) records generation "
+                        f"{recorded}, map committed {gen}",
+                    )
+                if recorded is None and gen != placement.BASE_GEN:
+                    fail(
+                        "placement_agrees",
+                        f"node {node.node_id} (pos {j}) has no generation "
+                        f"record but the stripe is committed at {gen}",
+                    )
+                if node.is_retired(BlockAddr(vol, stripe, j)):
+                    fail(
+                        "placement_agrees",
+                        f"node {node.node_id} (pos {j}) serves the stripe "
+                        "but holds a retire marker for it",
+                    )
     return out
+
+
+def check_rebalance_bytes(
+    bytes_moved: int,
+    moved_stripes: int,
+    width: int,
+    block_size: int,
+    factor: float = 2.0,
+) -> list[InvariantViolation]:
+    """``rebalance_bytes_bounded``: bytes moved by rebalancing must not
+    exceed ``factor`` times the bytes owned by the stripes whose
+    placement changed (``moved_stripes * width * block_size``).
+
+    The slack covers crash-resumed migrations (a stripe copied again
+    after a mid-migration client crash) — what it forbids is the
+    pathological full reshuffle an inconsistent-hash map would produce,
+    the Rashmi-et-al. hazard of rebalance traffic itself degrading the
+    cluster.
+    """
+    owned = moved_stripes * width * block_size
+    if bytes_moved > factor * owned:
+        return [
+            InvariantViolation(
+                "rebalance_bytes_bounded",
+                None,
+                f"moved {bytes_moved} bytes > {factor:g} x {owned} owned "
+                f"({moved_stripes} moved stripes x {width} x {block_size})",
+            )
+        ]
+    return []
 
 
 def check_history(

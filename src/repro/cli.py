@@ -18,6 +18,13 @@ Commands
                 the same stalled-node fault plan, hedged vs un-hedged,
                 proving hedged reads cut p99 with reproducible digests
                 (plus an admission-control overload burst)
+``elastic-soak`` elastic-cluster soak: grow the pool in waves,
+                rebalance stripes to each new placement generation
+                under live traffic and chaos (crashing the rebalancer
+                mid-migration), decommission original members, and
+                check the full quiescence invariant pack plus the
+                placement/bytes-moved invariants; also proves graceful
+                degradation of a migration crashed before its commit
 ``explore``     deterministic crash-point exploration: kill a client at
                 every named protocol step x companion fault, drive the
                 survivors to quiescence, and check the invariant pack;
@@ -36,10 +43,17 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis.resiliency import resiliency_profile
 from repro.baselines.costs import format_cost_table
+from repro.chaos.elastic_soak import (
+    ElasticSoakConfig,
+    prove_graceful_degradation,
+    run_elastic_soak,
+    smoke_config,
+)
 from repro.chaos.explorer import (
     ExplorerConfig,
     load_schedule,
@@ -66,6 +80,34 @@ from repro.obs import (
 from repro.sim.calibration import measure_costs
 from repro.sim.experiments import run_throughput
 from repro.sim.workload import WorkloadSpec
+
+#: Shared exit-code contract for every soak/explore/replay command,
+#: shown in each command's ``--help``.
+EXIT_CODES_EPILOG = (
+    "exit codes: 0 = run passed every invariant; 1 = the run completed "
+    "but an invariant, audit or verdict failed (reproduce with the "
+    "printed --seed); 2 = invalid input (unreadable file, malformed "
+    "snapshot or schedule) — nothing was run."
+)
+
+
+def _ensure_parent(path: str) -> None:
+    """Create the missing parent directories of an output file."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+
+
+def _ensure_dir(path: str | None) -> None:
+    """Create a missing output directory (artifact/flight dirs)."""
+    if path:
+        os.makedirs(path, exist_ok=True)
+
+
+def _write_metrics(path: str, snapshot: dict) -> None:
+    _ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(snapshot_to_json(snapshot) + "\n")
+    print(f"  metrics snapshot: {path}")
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -157,14 +199,13 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
         observe=not args.no_observe,
         flight_dir=args.flight_dir,
     )
+    _ensure_dir(args.flight_dir)
     report = run_soak(config)
     print(report.summary())
     for violation in report.violations:
         print(f"  VIOLATION: {violation}")
     if args.metrics_out and report.metrics:
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            handle.write(snapshot_to_json(report.metrics) + "\n")
-        print(f"  metrics snapshot: {args.metrics_out}")
+        _write_metrics(args.metrics_out, report.metrics)
     return 0 if report.passed else 1
 
 
@@ -187,12 +228,11 @@ def cmd_gray_soak(args: argparse.Namespace) -> int:
         observe=not args.no_observe,
         flight_dir=args.flight_dir,
     )
+    _ensure_dir(args.flight_dir)
     report = run_gray_soak(config)
     print(report.summary())
     if args.metrics_out and report.metrics:
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            handle.write(snapshot_to_json(report.metrics) + "\n")
-        print(f"  metrics snapshot: {args.metrics_out}")
+        _write_metrics(args.metrics_out, report.metrics)
     return 0 if report.passed else 1
 
 
@@ -218,6 +258,7 @@ def cmd_restart_soak(args: argparse.Namespace) -> int:
         observe=not args.no_observe,
         flight_dir=args.flight_dir,
     )
+    _ensure_dir(args.flight_dir)
     report = run_restart_soak(config)
     print(report.summary())
     for outcome in (report.restart, report.remap):
@@ -228,10 +269,42 @@ def cmd_restart_soak(args: argparse.Namespace) -> int:
     if args.metrics_out and report.restart and report.restart.metrics:
         # The restart policy is the headline run; its snapshot is the
         # artifact (the remap run's counters live in report.remap).
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            handle.write(snapshot_to_json(report.restart.metrics) + "\n")
-        print(f"  metrics snapshot: {args.metrics_out}")
+        _write_metrics(args.metrics_out, report.restart.metrics)
     return 0 if report.passed else 1
+
+
+def cmd_elastic_soak(args: argparse.Namespace) -> int:
+    if args.smoke:
+        base = smoke_config(args.seed)
+    else:
+        base = ElasticSoakConfig(seed=args.seed)
+    config = ElasticSoakConfig(
+        seed=base.seed,
+        pool_start=args.pool_start or base.pool_start,
+        pool_peak=args.pool_peak or base.pool_peak,
+        decommission=args.decommission or base.decommission,
+        blocks=args.blocks or base.blocks,
+        ops_per_wave=args.ops_per_wave or base.ops_per_wave,
+        crash_rebalancer=not args.no_crash,
+        observe=not args.no_observe,
+        flight_dir=args.flight_dir,
+    )
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"invalid elastic-soak configuration: {exc}", file=sys.stderr)
+        return 2
+    _ensure_dir(args.flight_dir)
+    report = run_elastic_soak(config)
+    print(report.summary())
+    # The graceful-degradation requirement is *proven* on every run, not
+    # asserted: crash a migration before its commit and show the stripe
+    # still serves at the old placement.
+    proof = prove_graceful_degradation(args.seed)
+    print(proof.summary())
+    if args.metrics_out and report.metrics:
+        _write_metrics(args.metrics_out, report.metrics)
+    return 0 if report.passed and proof.holds else 1
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
@@ -250,13 +323,12 @@ def cmd_explore(args: argparse.Namespace) -> int:
         inject_regression=args.inject_regression,
         artifact_dir=args.artifact_dir,
     )
+    _ensure_dir(args.artifact_dir)
     obs = None if args.no_observe else Observability.create()
     report = run_explorer(config, obs=obs)
     print(report.summary())
     if args.metrics_out and obs is not None:
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            handle.write(snapshot_to_json(obs.registry.snapshot()) + "\n")
-        print(f"  metrics snapshot: {args.metrics_out}")
+        _write_metrics(args.metrics_out, obs.registry.snapshot())
     return 0 if report.passed else 1
 
 
@@ -265,7 +337,7 @@ def cmd_replay_schedule(args: argparse.Namespace) -> int:
         config, schedule, expect = load_schedule(args.schedule)
     except (OSError, ValueError, KeyError) as exc:
         print(f"invalid schedule file: {exc}", file=sys.stderr)
-        return 1
+        return 2
     obs = None if args.no_observe else Observability.create()
     outcome = run_schedule(config, schedule, obs=obs)
     print(f"schedule: {schedule.key()}")
@@ -325,11 +397,12 @@ def cmd_metrics(args: argparse.Namespace) -> int:
             exposition = _validate_snapshot(snapshot)
         except (OSError, ValueError) as exc:
             print(f"invalid metrics snapshot: {exc}", file=sys.stderr)
-            return 1
+            return 2
     else:
         snapshot = _demo_observed_workload().registry.snapshot()
         exposition = _validate_snapshot(snapshot)
     if args.out:
+        _ensure_parent(args.out)
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(snapshot_to_json(snapshot) + "\n")
         print(f"wrote metrics snapshot: {args.out}")
@@ -346,7 +419,7 @@ def cmd_trace_dump(args: argparse.Namespace) -> int:
             flight = load_flight(args.flight)
         except (OSError, ValueError) as exc:
             print(f"invalid flight recording: {exc}", file=sys.stderr)
-            return 1
+            return 2
         events = flight_events(flight)
         print(
             f"flight recording: reason={flight['reason']!r} "
@@ -434,7 +507,9 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.set_defaults(func=cmd_simulate)
 
     soak = sub.add_parser(
-        "chaos-soak", help="seeded fault-injection soak + consistency audit"
+        "chaos-soak",
+        help="seeded fault-injection soak + consistency audit",
+        epilog=EXIT_CODES_EPILOG,
     )
     soak.add_argument("--seed", type=int, default=7)
     soak.add_argument("--ops", type=int, default=None,
@@ -457,6 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     restart = sub.add_parser(
         "restart-soak",
         help="crash-restart soak: durable-node recovery vs fail-remap",
+        epilog=EXIT_CODES_EPILOG,
     )
     restart.add_argument("--seed", type=int, default=11)
     restart.add_argument("--ops", type=int, default=None,
@@ -476,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
     gray = sub.add_parser(
         "gray-soak",
         help="gray-node soak: hedged vs un-hedged read tail latency",
+        epilog=EXIT_CODES_EPILOG,
     )
     gray.add_argument("--seed", type=int, default=23)
     gray.add_argument("--reads", type=int, default=None,
@@ -496,9 +573,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observe_args(gray)
     gray.set_defaults(func=cmd_gray_soak)
 
+    elastic = sub.add_parser(
+        "elastic-soak",
+        help="elastic-cluster soak: grow, rebalance and decommission "
+             "under chaos with mid-migration crash points",
+        epilog=EXIT_CODES_EPILOG,
+    )
+    elastic.add_argument("--seed", type=int, default=11)
+    elastic.add_argument("--smoke", action="store_true",
+                         help="CI-sized run (pool 6->10, 2 decommissioned)")
+    elastic.add_argument("--pool-start", type=int, default=None,
+                         help="initial pool size (default 8; 6 with --smoke)")
+    elastic.add_argument("--pool-peak", type=int, default=None,
+                         help="pool size after both grow waves "
+                              "(default 24; 10 with --smoke)")
+    elastic.add_argument("--decommission", type=int, default=None,
+                         help="original members to retire at the end "
+                              "(default 4; 2 with --smoke)")
+    elastic.add_argument("--blocks", type=int, default=None,
+                         help="logical blocks in the workload namespace")
+    elastic.add_argument("--ops-per-wave", type=int, default=None,
+                         help="workload ops before each membership wave")
+    elastic.add_argument("--no-crash", action="store_true",
+                         help="run the waves without arming the "
+                              "rebalance.* crash points")
+    _add_observe_args(elastic)
+    elastic.set_defaults(func=cmd_elastic_soak)
+
     explore = sub.add_parser(
         "explore",
         help="crash-point schedule exploration + quiescence invariants",
+        epilog=EXIT_CODES_EPILOG,
     )
     explore.add_argument("--seed", type=int, default=0)
     explore.add_argument("--schedules", type=int, default=None,
@@ -529,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay = sub.add_parser(
         "replay-schedule",
         help="re-execute a saved crash schedule and compare verdicts",
+        epilog=EXIT_CODES_EPILOG,
     )
     replay.add_argument("schedule", metavar="FILE",
                         help="schedule JSON written by 'repro explore' "
@@ -540,6 +646,7 @@ def build_parser() -> argparse.ArgumentParser:
     metrics = sub.add_parser(
         "metrics",
         help="print a metrics registry (demo workload or saved snapshot)",
+        epilog=EXIT_CODES_EPILOG,
     )
     metrics.add_argument(
         "--from", dest="from_file", metavar="FILE", default=None,
@@ -553,7 +660,9 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.set_defaults(func=cmd_metrics)
 
     trace = sub.add_parser(
-        "trace-dump", help="render causal span trees from trace events"
+        "trace-dump",
+        help="render causal span trees from trace events",
+        epilog=EXIT_CODES_EPILOG,
     )
     trace.add_argument(
         "--flight", metavar="FILE", default=None,

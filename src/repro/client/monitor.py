@@ -29,6 +29,7 @@ the failure-injection tests exercise).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.client.consistency import find_consistent
@@ -49,6 +50,7 @@ class MonitorReport:
     timeouts: int = 0  # probes that hit their RPC deadline (gray node?)
     busy: int = 0  # probes shed by admission control (overload, not damage)
     delta_behind: int = 0  # deep check: restarted node missing writes
+    duplicate_triggers: int = 0  # re-detections suppressed by idempotence
     recovered_stripes: list[int] = field(default_factory=list)
 
 
@@ -61,6 +63,39 @@ class Monitor:
         #: Source tag for shared-tracer events, so a drained ring tells
         #: monitor activity apart from the owning client's protocol ops.
         self.source = f"monitor:{client.client_id}"
+        # Idempotence of the recovery trigger, per (stripe, epoch).
+        # Overlapping sweeps (a deep sweep racing a crash-restart, two
+        # sweep threads) can both observe the *same* damage instance;
+        # without memoization each observation runs a full recovery.
+        # A completed recovery always finalizes into a strictly larger
+        # epoch, so "a recovery completed for the epoch I observed"
+        # means this damage instance is already handled — while new
+        # damage necessarily surfaces at a newer epoch and still fires.
+        self._trigger_lock = threading.Lock()
+        self._inflight: set[int] = set()
+        self._done_epochs: dict[int, int] = {}
+
+    def _should_trigger(self, stripe: int, epoch: int | None) -> bool:
+        """Claim the (stripe, epoch) trigger; False = duplicate."""
+        with self._trigger_lock:
+            if stripe in self._inflight:
+                return False
+            if epoch is not None and self._done_epochs.get(stripe, -1) >= epoch:
+                return False
+            self._inflight.add(stripe)
+            return True
+
+    def _finish_trigger(
+        self, stripe: int, epoch: int | None, completed: bool
+    ) -> None:
+        with self._trigger_lock:
+            self._inflight.discard(stripe)
+            if (
+                completed
+                and epoch is not None
+                and epoch > self._done_epochs.get(stripe, -1)
+            ):
+                self._done_epochs[stripe] = epoch
 
     def sweep(
         self, stripes: range | list[int], deep: bool = False
@@ -75,19 +110,30 @@ class Monitor:
         report = MonitorReport()
         cp = self.client.crashpoints
         for stripe in stripes:
-            needs = self._stripe_needs_recovery(stripe, report)
+            needs, epoch_seen = self._stripe_needs_recovery(stripe, report)
             if not needs and deep and self._stripe_delta_behind(stripe):
                 report.delta_behind += 1
                 needs = True
             if needs:
-                if self.client.tracer.enabled:
-                    self.client.tracer.emit(
-                        self.source, "monitor.trigger_recovery", stripe=stripe
-                    )
-                if cp.enabled:
-                    cp.hit("monitor.before_recover", stripe=stripe)
-                self.client._start_recovery(stripe)
-                report.recovered_stripes.append(stripe)
+                if not self._should_trigger(stripe, epoch_seen):
+                    # Same damage instance already handled (or being
+                    # handled right now) — re-triggering would run a
+                    # redundant full recovery.
+                    report.duplicate_triggers += 1
+                    continue
+                completed = False
+                try:
+                    if self.client.tracer.enabled:
+                        self.client.tracer.emit(
+                            self.source, "monitor.trigger_recovery",
+                            stripe=stripe,
+                        )
+                    if cp.enabled:
+                        cp.hit("monitor.before_recover", stripe=stripe)
+                    completed = self.client._start_recovery(stripe)
+                    report.recovered_stripes.append(stripe)
+                finally:
+                    self._finish_trigger(stripe, epoch_seen, completed)
         metrics = self.client.metrics
         if metrics.enabled:
             metrics.counter("monitor_sweeps_total").inc()
@@ -100,6 +146,7 @@ class Monitor:
                 ("timeout", report.timeouts),
                 ("busy", report.busy),
                 ("delta_behind", report.delta_behind),
+                ("duplicate_trigger", report.duplicate_triggers),
             ):
                 if value:
                     metrics.counter("monitor_findings_total", kind=kind).inc(value)
@@ -127,13 +174,21 @@ class Monitor:
         cset = find_consistent(data, client.k)
         return len(cset) < client.n
 
-    def _stripe_needs_recovery(self, stripe: int, report: MonitorReport) -> bool:
+    def _stripe_needs_recovery(
+        self, stripe: int, report: MonitorReport
+    ) -> tuple[bool, int | None]:
+        """(damage found?, max epoch observed) — the epoch keys the
+        trigger memoization; None when no probe answered."""
         needs = False
+        epochs: list[int] = []
         for j in range(self.client.n):
             addr = self.client._addr(stripe, j)
             report.probed += 1
             try:
-                opmode, lmode, age = self.client._call(stripe, j, "probe", addr)
+                opmode, lmode, age, epoch = self.client._call(
+                    stripe, j, "probe", addr
+                )
+                epochs.append(epoch)
             except NodeBusyError:
                 # Overload is explicitly NOT damage: a busy node is
                 # alive and consistent.  Starting recovery here would
@@ -162,4 +217,4 @@ class Monitor:
             if age is not None and age > self.stale_after:
                 report.stale_writes += 1
                 needs = True
-        return needs
+        return needs, (max(epochs) if epochs else None)

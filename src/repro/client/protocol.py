@@ -39,6 +39,7 @@ from repro.errors import (
     NodeUnavailableError,
     ReadFailedError,
     RpcTimeoutError,
+    StalePlacementError,
     WriteAbortedError,
 )
 from repro.gf import field as gf
@@ -80,6 +81,7 @@ class ClientStats:
     busy_rejections: int = 0  # NodeBusyError sheds observed (admission)
     breaker_fast_fails: int = 0  # calls refused locally by an open circuit
     budget_denials: int = 0  # retries/hedges refused by the retry budget
+    stale_refetches: int = 0  # placement-cache invalidations on stale answers
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _mirror: object = field(default=None, repr=False)
     _mirror_client: str = field(default="", repr=False)
@@ -113,6 +115,7 @@ class ProtocolClient:
         config: ClientConfig | None = None,
         health: HealthRegistry | None = None,
         retry_budget: RetryBudget | None = None,
+        placement=None,
     ):
         self.client_id = client_id
         self.transport = transport
@@ -121,6 +124,11 @@ class ProtocolClient:
         self.meta = meta
         self.config = config or ClientConfig()
         self.stats = ClientStats()
+        # Per-client placement cache (repro.placement.PlacementCache) on
+        # elastic clusters; None keeps the static-layout fast path.  Each
+        # RPC is stamped with the cached generation, and a node answering
+        # StalePlacementError makes _call invalidate + refetch + retry.
+        self.placement = placement
         # Structured tracing (repro.tracing.Tracer); no-op by default.
         self.tracer = NULL_TRACER
         self.metrics = NULL_REGISTRY
@@ -194,6 +202,8 @@ class ProtocolClient:
         return BlockAddr(self.volume, stripe, index)
 
     def _slot(self, stripe: int, index: int) -> int:
+        if self.placement is not None:
+            return self.placement.entry(stripe)[1][index]
         return self.meta.layout.node_of_stripe_index(stripe, index)
 
     def _proxy(self, stripe: int, index: int) -> NodeProxy:
@@ -249,17 +259,34 @@ class ProtocolClient:
         here with jittered backoff — overload is a *retryable* condition,
         never evidence of failure, so it must not reach the remap or
         recovery paths below.  After ``busy_retry_limit`` sheds it
-        propagates for the operation-level loops to absorb."""
-        for busy_attempt in range(self.config.busy_retry_limit + 1):
+        propagates for the operation-level loops to absorb.
+
+        A :class:`StalePlacementError` means the node rejected our
+        placement-generation stamp: invalidate the cache entry for the
+        stripe, refetch, and retry at the current placement.  Bounded to
+        a few rounds — one refetch resolves any single migration, so
+        repeats only happen under back-to-back reconfigurations."""
+        for stale_attempt in range(4):
             try:
-                return self._call_once(
-                    stripe, index, op, *args, trace_ctx=trace_ctx, **kwargs
-                )
-            except NodeBusyError:
-                self.stats.bump("busy_rejections")
-                if busy_attempt >= self.config.busy_retry_limit:
+                for busy_attempt in range(self.config.busy_retry_limit + 1):
+                    try:
+                        return self._call_once(
+                            stripe, index, op, *args, trace_ctx=trace_ctx,
+                            **kwargs,
+                        )
+                    except NodeBusyError:
+                        self.stats.bump("busy_rejections")
+                        if busy_attempt >= self.config.busy_retry_limit:
+                            raise
+                        time.sleep(self._backoff.next_delay(busy_attempt))
+            except StalePlacementError:
+                if self.placement is None or stale_attempt >= 3:
                     raise
-                time.sleep(self._backoff.next_delay(busy_attempt))
+                self.placement.invalidate(stripe)
+                self.stats.bump("stale_refetches")
+                if self.tracer.enabled:
+                    self.tracer.emit(self.client_id, "placement.refetch",
+                                     stripe=stripe, op=op)
         raise AssertionError("unreachable")
 
     def _call_once(
@@ -282,6 +309,9 @@ class ProtocolClient:
         may be gray, not dead — so remap waits for the breaker to trip
         at the suspicion threshold; the exception still propagates so
         the caller retries or goes degraded either way."""
+        gen: int | None = None
+        if self.placement is not None:
+            gen = self.placement.entry(stripe)[0]
         proxy = self._proxy(stripe, index)
         if not self.health.allow_request(
             proxy.dst, self.config.breaker_probe_interval
@@ -290,6 +320,8 @@ class ProtocolClient:
             raise CircuitOpenError(proxy.dst)
         if trace_ctx is not None:
             kwargs["_trace"] = trace_ctx.wire()
+        if gen is not None:
+            kwargs["_gen"] = gen
         start = time.perf_counter()
         try:
             result = proxy.call(op, *args, **kwargs)
@@ -620,16 +652,22 @@ class ProtocolClient:
             )
             crashed: set[int] = set()
             busy: set[int] = set()
+            stale: set[int] = set()
             normal: dict[int, AddResult] = {}
             for j, res in results.items():
                 if isinstance(res, AddResult):
                     normal[j] = res
                 elif isinstance(res, NodeBusyError):
                     busy.add(j)  # shed by admission control: just retry
+                elif isinstance(res, StalePlacementError):
+                    stale.add(j)  # our map is behind; refetch and retry
                 else:  # fail-stop detected mid-batch
                     crashed.add(j)
+            if stale and self.placement is not None:
+                self.placement.invalidate(stripe)
+                self.stats.bump("stale_refetches")
             done |= {j for j, r in normal.items() if r.status is AddStatus.OK}
-            retry = busy | {
+            retry = busy | stale | {
                 j
                 for j, r in normal.items()
                 if r.status is AddStatus.ORDER
@@ -702,7 +740,8 @@ class ProtocolClient:
             for j in ordered:
                 try:
                     results[j] = one(j)
-                except (NodeUnavailableError, NodeBusyError) as exc:
+                except (NodeUnavailableError, NodeBusyError,
+                        StalePlacementError) as exc:
                     results[j] = exc
                 # Per-add granularity (which add-subset completed) only
                 # exists for SERIAL; batch strategies land between
@@ -737,6 +776,8 @@ class ProtocolClient:
             self.directory.node_id(self._slot(stripe, j)): j for j in sorted(targets)
         }
         extra: dict[str, object] = {}
+        if self.placement is not None:
+            extra["_gen"] = self.placement.entry(stripe)[0]
         if trace_parent is not None:
             # One frame leaves the client, so one child span covers all
             # receivers; each node's event distinguishes itself by its
@@ -795,12 +836,18 @@ class ProtocolClient:
 
     def _start_recovery(
         self, stripe: int, exclude: frozenset[int] | None = None
-    ) -> None:
+    ) -> bool:
         """Fig. 6 start_recovery: run recover() unless this client is
-        already recovering this stripe (another local thread)."""
+        already recovering this stripe (another local thread).
+
+        Returns True only when a recovery ran here and *completed* —
+        False for both "already in progress" and "yielded the lock
+        race".  The monitor keys its per-(stripe, epoch) trigger
+        memoization on this, so an unfinished recovery never suppresses
+        a needed re-trigger."""
         with self._recovering_lock:
             if stripe in self._recovering:
-                return
+                return False
             self._recovering.add(stripe)
         try:
             self.stats.bump("recoveries_started")
@@ -808,11 +855,12 @@ class ProtocolClient:
             if self.recover(stripe, exclude=exclude):
                 self.stats.bump("recoveries_completed")
                 self.tracer.emit(self.client_id, "recovery.end", stripe=stripe)
-            else:
-                self.stats.bump("recoveries_yielded")
-                self.tracer.emit(self.client_id, "recovery.yield", stripe=stripe)
-                # Lost the lock race; give the winner time to finish.
-                time.sleep(self.config.backoff)
+                return True
+            self.stats.bump("recoveries_yielded")
+            self.tracer.emit(self.client_id, "recovery.yield", stripe=stripe)
+            # Lost the lock race; give the winner time to finish.
+            time.sleep(self.config.backoff)
+            return False
         finally:
             with self._recovering_lock:
                 self._recovering.discard(stripe)

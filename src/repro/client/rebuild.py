@@ -77,7 +77,9 @@ class Rebuilder:
         for j in range(self.client.n):
             addr = self.client._addr(stripe, j)
             try:
-                opmode, lmode, _age = self.client._call(stripe, j, "probe", addr)
+                opmode, lmode, _age, _epoch = self.client._call(
+                    stripe, j, "probe", addr
+                )
             except NodeBusyError:
                 return False  # overloaded, not damaged; skip this pass
             except NodeUnavailableError:

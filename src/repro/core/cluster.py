@@ -27,6 +27,8 @@ from repro.net.chaos import ChaosTransport, FaultPlan
 from repro.net.local import DelayModel, LocalTransport
 from repro.net.transport import Transport
 from repro.obs import Observability
+from repro.placement.map import PlacementCache, PlacementMap
+from repro.placement.rebalance import Rebalancer
 from repro.storage.node import StorageNode, VolumeMeta
 from repro.storage.server import InstrumentedServer
 from repro.storage.state import BlockState, OpMode
@@ -66,6 +68,7 @@ class Cluster:
         observability: Observability | None = None,
         admission_limit: int | None = None,
         retry_budget: float | None = None,
+        pool: int | None = None,
     ):
         self.code = ReedSolomonCode(k, n, construction)
         self.layout = StripeLayout(k, n, rotate=rotate)
@@ -116,8 +119,18 @@ class Cluster:
         self._servers: dict[str, InstrumentedServer] = {}
         self._clients: dict[str, ProtocolClient] = {}
         self._lock = threading.Lock()
+        #: Elastic placement (``pool=N``): stripes are assigned to n of
+        #: the N pooled slots by a versioned consistent-hash map instead
+        #: of the static layout.  None keeps the paper's fixed layout.
+        self.placement: PlacementMap | None = None
+        if pool is not None:
+            if pool < n:
+                raise ValueError(f"pool={pool} cannot host n={n} stripes")
+            self.placement = PlacementMap(
+                width=n, members=range(pool), seed=seed
+            )
         self.directory = Directory(self._provision)
-        for slot in range(n):
+        for slot in range(pool if pool is not None else n):
             node_id = f"storage-{slot}"
             self._install_node(node_id, slot, fresh=False)
             self.directory.bind(slot, node_id)
@@ -150,6 +163,7 @@ class Cluster:
             store=store,
             restore=restore,
         )
+        node.placement = self.placement
         obs = self.observability
         if obs is not None:
             node.metrics = obs.registry
@@ -173,6 +187,48 @@ class Cluster:
         node_id = f"storage-{slot}.{incarnation}"
         self._install_node(node_id, slot, fresh=True)
         return node_id
+
+    def add_storage(self, count: int = 1) -> list[int]:
+        """Grow the pool: install ``count`` new empty storage nodes on
+        fresh slots and bind them in the directory.  The new slots serve
+        no stripes until a placement generation including them is
+        proposed and the rebalancer migrates stripes over.  Placement
+        mode only."""
+        if self.placement is None:
+            raise ValueError("add_storage requires a placement-mode cluster")
+        start = max(self.directory.slots()) + 1
+        new_slots = list(range(start, start + count))
+        for slot in new_slots:
+            node_id = f"storage-{slot}"
+            self._install_node(node_id, slot, fresh=False)
+            self.directory.bind(slot, node_id)
+        return new_slots
+
+    def slot_of(self, stripe: int, index: int) -> int:
+        """Slot serving stripe position ``index`` — committed placement
+        in placement mode, static layout otherwise."""
+        if self.placement is not None:
+            return self.placement.lookup(stripe)[1][index]
+        return self.layout.node_of_stripe_index(stripe, index)
+
+    def rebalancer(self, name: str, **kwargs) -> Rebalancer:
+        """Build a rebalancer wired to this cluster (placement mode)."""
+        if self.placement is None:
+            raise ValueError("rebalancer requires a placement-mode cluster")
+        kwargs.setdefault("retry_budget", self.retry_budget)
+        reb = Rebalancer(
+            client_id=name,
+            transport=self.transport,
+            directory=self.directory,
+            placement=self.placement,
+            volume=self.volume_name,
+            meta=self.meta,
+            **kwargs,
+        )
+        if self.observability is not None:
+            reb.metrics = self.observability.registry
+            reb.tracer = self.observability.tracer
+        return reb
 
     def _on_node_failure(self, failed_id: str) -> None:
         with self._lock:
@@ -223,6 +279,13 @@ class Cluster:
             config=config,
             health=self.health,
             retry_budget=self.retry_budget,
+            # Each client gets its *own* cache over the shared map, so
+            # staleness (and invalidation-on-remap) is per client.
+            placement=(
+                PlacementCache(self.placement)
+                if self.placement is not None
+                else None
+            ),
         )
         if self.observability is not None:
             client.attach_observability(
@@ -360,7 +423,7 @@ class Cluster:
         volume = volume or self.volume_name
         out = []
         for j in range(self.code.n):
-            slot = self.layout.node_of_stripe_index(stripe, j)
+            slot = self.slot_of(stripe, j)
             node = self.node_for_slot(slot)
             out.append(node.peek(BlockAddr(volume, stripe, j)).block.copy())
         return out
@@ -372,7 +435,7 @@ class Cluster:
         no block is INIT (garbage is, by design, inconsistent)."""
         volume = volume or self.volume_name
         for j in range(self.code.n):
-            slot = self.layout.node_of_stripe_index(stripe, j)
+            slot = self.slot_of(stripe, j)
             state = self.node_for_slot(slot).peek(BlockAddr(volume, stripe, j))
             if state.opmode is not OpMode.NORM:
                 return False

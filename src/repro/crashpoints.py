@@ -94,6 +94,27 @@ CRASH_POINT_CATALOGUE: dict[str, tuple[str, str]] = {
         "§3.10 monitor, damage detected, before _start_recovery",
         "damage is left exactly as found; the next sweep re-detects it",
     ),
+    "rebalance.before_copy": (
+        "REBALANCE, stripe locked L1 at old and new placements, before "
+        "any state fetch or copy",
+        "locks expire to EXP; nothing moved, map generation unchanged — "
+        "ordinary recovery at the old placement heals the locks and the "
+        "next rebalance pass redoes the migration from scratch",
+    ),
+    "rebalance.before_commit": (
+        "REBALANCE, blocks copied to the new placement (RECONS), before "
+        "commit_stripe flips the map",
+        "the stripe still serves at its old placement (readable "
+        "degraded while locks sit EXP); copied RECONS images at the new "
+        "placement are orphaned until a re-migration overwrites them",
+    ),
+    "rebalance.after_commit": (
+        "REBALANCE, map committed and old pairs retired, before the "
+        "epoch-bumping finalize of the new placement",
+        "clients refetch and find the new placement in RECONS/EXP; "
+        "ordinary recovery's RECONS pickup path finalizes it in place "
+        "(no rebalancer involvement needed)",
+    ),
 }
 
 

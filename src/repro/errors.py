@@ -71,6 +71,47 @@ class NodeBusyError(ReproError):
         return (NodeBusyError, (self.node_id, self.reason))
 
 
+class StalePlacementError(ReproError):
+    """The caller's cached placement generation is behind the node's.
+
+    Raised by a storage node when a request carries a placement
+    generation older than the one recorded for the stripe, or targets a
+    block the node has *retired* (migrated away and no longer serves).
+    Deliberately not a :class:`NodeUnavailableError` subclass: the node
+    is alive and correct — the *client's map* is stale.  The client must
+    invalidate its placement-cache entry for the stripe, refetch, and
+    retry at the current placement; remapping the slot or starting
+    recovery would be wrong (and wasteful) here.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        stripe: int,
+        seen_gen: int | None,
+        current_gen: int | None = None,
+        retired: bool = False,
+    ):
+        what = "retired block" if retired else "stale placement generation"
+        super().__init__(
+            f"node {node_id!r} rejected {what} for stripe {stripe} "
+            f"(caller gen {seen_gen}, node gen {current_gen})"
+        )
+        self.node_id = node_id
+        self.stripe = stripe
+        self.seen_gen = seen_gen
+        self.current_gen = current_gen
+        self.retired = retired
+
+    def __reduce__(self):
+        # Survive pickling over TcpTransport with fields intact.
+        return (
+            StalePlacementError,
+            (self.node_id, self.stripe, self.seen_gen, self.current_gen,
+             self.retired),
+        )
+
+
 class CircuitOpenError(NodeUnavailableError):
     """Fast-fail raised by the client's circuit breaker while a node's
     circuit is open: the node is *believed* failed, so calls are not

@@ -1,0 +1,24 @@
+"""Placement: epoch-stamped stripe -> node-pool assignment.
+
+The paper's AJX protocol fixes the stripe layout at volume creation
+(``StripeLayout``: slot = (stripe + index) mod n).  This package lifts
+that assumption for elastic clusters: a :class:`PlacementMap` assigns
+each stripe's n blocks to slots drawn from a *member pool* via
+consistent hashing, versioned by explicit **map generations**; a
+:class:`~repro.placement.rebalance.Rebalancer` migrates stripes from
+their committed generation to the latest one under live traffic; and a
+per-client :class:`PlacementCache` gives each client its own (possibly
+stale) view, invalidated on a ``StalePlacementError`` answer — a stale
+map can delay a request, never corrupt one.
+"""
+
+from repro.placement.map import PlacementCache, PlacementMap
+from repro.placement.rebalance import MigrationRecord, RebalanceReport, Rebalancer
+
+__all__ = [
+    "PlacementMap",
+    "PlacementCache",
+    "Rebalancer",
+    "MigrationRecord",
+    "RebalanceReport",
+]

@@ -1,0 +1,216 @@
+"""Versioned consistent-hash placement map (stripe -> slots).
+
+A :class:`PlacementMap` holds a list of **generations**, each a frozen
+member pool (the logical storage slots in service), plus one consistent
+hash ring per generation.  ``slots_for(stripe, gen)`` walks the ring
+from the stripe's hash point collecting ``width`` distinct members —
+the n slots serving that stripe under that generation.
+
+Two version numbers coexist and must not be confused:
+
+* **map generation** — which member pool a stripe's placement is drawn
+  from.  Advanced cluster-wide by :meth:`propose`; adopted *per stripe*
+  by :meth:`commit_stripe` as the rebalancer migrates it.
+* **stripe epoch** — the paper's per-block reconstruction counter
+  (Fig. 6).  Each migration ends in a ``finalize`` with a bumped epoch,
+  so in-flight deltas addressed to the pre-migration placement are
+  rejected by the ordinary stale-epoch check.
+
+Consistent hashing keeps migrations *incremental*: growing the pool
+moves only the stripes whose ring walk now meets a new member, instead
+of reshuffling everything (the property the elastic soak's
+``rebalance_bytes_bounded`` invariant pins down).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from hashlib import blake2b
+
+
+def _hash64(payload: str) -> int:
+    return int.from_bytes(blake2b(payload.encode(), digest_size=8).digest(), "big")
+
+
+class PlacementMap:
+    """Thread-safe versioned stripe placement over an elastic pool."""
+
+    #: Generation every stripe starts committed at.
+    BASE_GEN = 0
+
+    def __init__(
+        self,
+        width: int,
+        members,
+        *,
+        vnodes: int = 64,
+        seed: int = 0,
+    ):
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        pool = frozenset(int(m) for m in members)
+        if len(pool) < width:
+            raise ValueError(
+                f"pool of {len(pool)} members cannot place {width}-wide stripes"
+            )
+        self.width = width
+        self.vnodes = vnodes
+        self.seed = seed
+        self._pools: list[frozenset[int]] = [pool]
+        self._rings: list[tuple[list[int], list[int]]] = [self._ring(pool)]
+        self._committed: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    # -- ring construction -------------------------------------------------
+
+    def _ring(self, pool: frozenset[int]) -> tuple[list[int], list[int]]:
+        points: list[tuple[int, int]] = []
+        for member in sorted(pool):
+            for v in range(self.vnodes):
+                points.append((_hash64(f"{self.seed}:m{member}:v{v}"), member))
+        points.sort()
+        return [p for p, _ in points], [m for _, m in points]
+
+    # -- read side ---------------------------------------------------------
+
+    @property
+    def latest_gen(self) -> int:
+        with self._lock:
+            return len(self._pools) - 1
+
+    def members(self, gen: int | None = None) -> frozenset[int]:
+        """Member pool of ``gen`` (default: latest)."""
+        with self._lock:
+            if gen is None:
+                gen = len(self._pools) - 1
+            return self._pools[gen]
+
+    def slots_for(self, stripe: int, gen: int | None = None) -> tuple[int, ...]:
+        """The ``width`` slots serving ``stripe`` under ``gen``.
+
+        Position ``j`` of the result serves stripe index ``j`` (data
+        blocks first, redundant blocks after, as in ``StripeLayout``).
+        """
+        with self._lock:
+            if gen is None:
+                gen = len(self._pools) - 1
+            keys, owners = self._rings[gen]
+            pool_size = len(self._pools[gen])
+        start = bisect.bisect_left(keys, _hash64(f"{self.seed}:s{stripe}"))
+        chosen: list[int] = []
+        seen: set[int] = set()
+        for i in range(len(keys)):
+            member = owners[(start + i) % len(keys)]
+            if member in seen:
+                continue
+            seen.add(member)
+            chosen.append(member)
+            if len(chosen) == self.width:
+                return tuple(chosen)
+        raise RuntimeError(
+            f"ring walk found {len(chosen)}/{self.width} members "
+            f"(pool size {pool_size})"
+        )  # pragma: no cover - constructor guarantees pool >= width
+
+    def committed_gen(self, stripe: int) -> int:
+        with self._lock:
+            return self._committed.get(stripe, self.BASE_GEN)
+
+    def lookup(self, stripe: int) -> tuple[int, tuple[int, ...]]:
+        """(committed generation, slots) — the placement traffic uses."""
+        gen = self.committed_gen(stripe)
+        return gen, self.slots_for(stripe, gen)
+
+    # -- write side --------------------------------------------------------
+
+    def propose(self, members) -> int:
+        """Append a new generation with pool ``members``; returns it.
+
+        Proposing does not move anything: every stripe keeps serving at
+        its committed generation until the rebalancer migrates it and
+        calls :meth:`commit_stripe`.
+        """
+        pool = frozenset(int(m) for m in members)
+        if len(pool) < self.width:
+            raise ValueError(
+                f"pool of {len(pool)} members cannot place "
+                f"{self.width}-wide stripes"
+            )
+        ring = self._ring(pool)
+        with self._lock:
+            self._pools.append(pool)
+            self._rings.append(ring)
+            return len(self._pools) - 1
+
+    def commit_stripe(self, stripe: int, gen: int) -> None:
+        """Adopt ``gen`` as the stripe's serving generation (monotonic)."""
+        with self._lock:
+            if not 0 <= gen < len(self._pools):
+                raise ValueError(f"unknown generation {gen}")
+            if gen > self._committed.get(stripe, self.BASE_GEN):
+                self._committed[stripe] = gen
+
+    # -- rebalance planning ------------------------------------------------
+
+    def moved_stripes(self, stripes) -> list[int]:
+        """Stripes whose committed slots differ from the latest slots —
+        the ones a rebalance pass must actually copy."""
+        moved = []
+        for stripe in stripes:
+            gen, slots = self.lookup(stripe)
+            if slots != self.slots_for(stripe):
+                moved.append(stripe)
+        return moved
+
+    def pending_stripes(self, stripes) -> list[int]:
+        """Stripes not yet committed at the latest generation (a
+        superset of :meth:`moved_stripes`: includes stripes whose slots
+        happen to coincide and need only a trivial commit)."""
+        latest = self.latest_gen
+        return [s for s in stripes if self.committed_gen(s) < latest]
+
+    def digest(self) -> str:
+        """Deterministic fingerprint of pools + per-stripe commits."""
+        h = blake2b(digest_size=8)
+        with self._lock:
+            h.update(f"{self.width}:{self.vnodes}:{self.seed}".encode())
+            for pool in self._pools:
+                h.update(("|" + ",".join(map(str, sorted(pool)))).encode())
+            for stripe in sorted(self._committed):
+                h.update(f";{stripe}={self._committed[stripe]}".encode())
+        return h.hexdigest()
+
+
+class PlacementCache:
+    """A client's private view of the placement map.
+
+    Models the directory-cache half of reconfiguration: entries are
+    fetched lazily and kept until :meth:`invalidate` — which the client
+    calls when a node answers ``StalePlacementError``.  A stale entry
+    can therefore route a request to a node that no longer serves the
+    stripe, but the generation stamp riding the request means the node
+    *rejects* instead of serving stale bytes: refetch, never a wrong
+    read.
+    """
+
+    def __init__(self, placement: PlacementMap):
+        self._map = placement
+        self._entries: dict[int, tuple[int, tuple[int, ...]]] = {}
+        self._lock = threading.Lock()
+        self.fetches = 0
+
+    def entry(self, stripe: int) -> tuple[int, tuple[int, ...]]:
+        with self._lock:
+            cached = self._entries.get(stripe)
+            if cached is not None:
+                return cached
+        fresh = self._map.lookup(stripe)
+        with self._lock:
+            self._entries[stripe] = fresh
+            self.fetches += 1
+        return fresh
+
+    def invalidate(self, stripe: int) -> None:
+        with self._lock:
+            self._entries.pop(stripe, None)

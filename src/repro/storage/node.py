@@ -34,7 +34,7 @@ from repro.erasure.striping import StripeLayout
 from repro.gf import field
 from repro.ids import BlockAddr, Tid
 from repro.net.transport import RpcHandler
-from repro.errors import UnknownOperationError
+from repro.errors import StalePlacementError, UnknownOperationError
 from repro.obs.metrics import NULL_REGISTRY
 from repro.tracing import NULL_TRACER
 from repro.storage.store import BlockStore
@@ -86,6 +86,8 @@ class StorageNode(RpcHandler):
             "gc_old",
             "gc_recent",
             "probe",
+            "set_generation",
+            "retire",
         }
     )
 
@@ -121,6 +123,15 @@ class StorageNode(RpcHandler):
         #: defaults cost one attribute check per request.
         self.metrics = NULL_REGISTRY
         self.tracer = NULL_TRACER
+        #: Placement-mode wiring (elastic clusters): the shared
+        #: PlacementMap, set by the cluster, lets broadcast adds resolve
+        #: against the stripe's *committed* placement instead of the
+        #: static layout.  Placement records are node-local metadata,
+        #: not BlockState, so they are state-only for now (the elastic
+        #: machinery runs on state-only nodes).
+        self.placement = None
+        self._stripe_gens: dict[tuple[str, int], int] = {}
+        self._retired: set[BlockAddr] = set()
         if restore:
             # Crash-restart with durable state: adopt the replayed
             # images and resume the logical clock past every persisted
@@ -144,11 +155,17 @@ class StorageNode(RpcHandler):
         # kwarg; pop it unconditionally so operation signatures stay
         # trace-free (and an untraced node ignores it silently).
         trace = kwargs.pop("_trace", None)
+        # The caller's placement generation rides the same way: popped
+        # unconditionally, checked only when present (placement-mode
+        # clients stamp it; the rebalancer and legacy clusters do not).
+        gen = kwargs.pop("_gen", None)
         if op not in self.OPERATIONS:
             raise UnknownOperationError(f"{self.node_id}: no operation {op!r}")
         if self.metrics.enabled:
             self.metrics.counter("node_ops_total", node=self.node_id, op=op).inc()
         with self._lock:
+            if gen is not None and args and isinstance(args[0], BlockAddr):
+                self._check_generation(args[0], gen)
             self.op_counts[op] = self.op_counts.get(op, 0) + 1
             result = getattr(self, op)(*args, **kwargs)
         # Emit after releasing the node lock: the tracer has its own
@@ -240,16 +257,54 @@ class StorageNode(RpcHandler):
         if self.store is not None:
             self.store.observe_stripe(addr.stripe)
 
+    def _check_generation(self, addr: BlockAddr, gen: int) -> None:
+        """Reject requests stamped with a stale placement generation.
+
+        The stripe's recorded generation advances when a migration
+        commits (``set_generation`` / ``retire``); any request stamped
+        older comes from a client whose placement cache predates the
+        migration, and serving it could hand out bytes the stripe no
+        longer lives at.  A *retired* concrete address is rejected
+        regardless of stamp: this node migrated that block away and no
+        longer serves it.
+        """
+        recorded = self._stripe_gens.get((addr.volume, addr.stripe))
+        if recorded is not None and gen < recorded:
+            if self.metrics.enabled:
+                self.metrics.counter(
+                    "node_stale_placement_rejects_total", node=self.node_id
+                ).inc()
+            raise StalePlacementError(self.node_id, addr.stripe, gen, recorded)
+        if addr.index != BROADCAST_INDEX and addr in self._retired:
+            if self.metrics.enabled:
+                self.metrics.counter(
+                    "node_stale_placement_rejects_total", node=self.node_id
+                ).inc()
+            raise StalePlacementError(
+                self.node_id, addr.stripe, gen, recorded, retired=True
+            )
+
     def _resolve(self, addr: BlockAddr, ntid: Tid) -> tuple[BlockAddr, int | None]:
         """Resolve a broadcast address to this node's stripe position.
 
         Returns the concrete address plus the coefficient alpha_{ji}
         this node must apply (None for unicast adds, where the client
-        already multiplied)."""
+        already multiplied).  In placement mode the position comes from
+        the stripe's committed placement, not the static layout.
+        """
         if addr.index != BROADCAST_INDEX:
             return addr, None
         meta = self._meta(addr)
-        layout, code = meta.layout, meta.code
+        code = meta.code
+        if self.placement is not None:
+            gen, slots = self.placement.lookup(addr.stripe)
+            for j in range(code.k, code.n):
+                if slots[j] == self.slot:
+                    return addr.sibling(j), code.coefficient(j, ntid.index)
+            # The committed placement no longer (or not yet) includes
+            # this node for the stripe: the sender's map is stale.
+            raise StalePlacementError(self.node_id, addr.stripe, None, gen)
+        layout = meta.layout
         for j in range(code.k, code.n):
             if layout.node_of_stripe_index(addr.stripe, j) == self.slot:
                 return addr.sibling(j), code.coefficient(j, ntid.index)
@@ -422,6 +477,9 @@ class StorageNode(RpcHandler):
         state.opmode = OpMode.RECONS
         state.recons_set = frozenset(cset)
         state.block = np.array(blk, dtype=np.uint8, copy=True)
+        # A migration copying a block *back* onto a previously retired
+        # position revives it: the fresh image supersedes the marker.
+        self._retired.discard(addr)
         self._persist(addr, state)
         return state.epoch
 
@@ -464,9 +522,11 @@ class StorageNode(RpcHandler):
     # Section 3.10 — monitoring probe
     # ------------------------------------------------------------------
 
-    def probe(self, addr: BlockAddr) -> tuple[OpMode, LockMode, float | None]:
-        """Cheap health check: opmode, lmode, and the wall-clock age of
-        the oldest recentlist entry (None when the list is empty)."""
+    def probe(self, addr: BlockAddr) -> tuple[OpMode, LockMode, float | None, int]:
+        """Cheap health check: opmode, lmode, the wall-clock age of the
+        oldest recentlist entry (None when the list is empty), and the
+        block's epoch (lets the monitor key its recovery-trigger
+        memoization per (stripe, epoch))."""
         state = self._state(addr)
         self._maybe_expire(state)
         if state.recentlist:
@@ -474,7 +534,31 @@ class StorageNode(RpcHandler):
             age = _time.monotonic() - oldest
         else:
             age = None
-        return state.opmode, state.lmode, age
+        return state.opmode, state.lmode, age, state.epoch
+
+    # ------------------------------------------------------------------
+    # placement migration support
+    # ------------------------------------------------------------------
+
+    def set_generation(self, addr: BlockAddr, gen: int) -> None:
+        """Record that this node serves ``addr`` under map generation
+        ``gen`` (monotonic); clears any retire marker for the address.
+        Called by the rebalancer on every pair of the new placement at
+        commit time."""
+        key = (addr.volume, addr.stripe)
+        if gen > self._stripe_gens.get(key, -1):
+            self._stripe_gens[key] = gen
+        self._retired.discard(addr)
+
+    def retire(self, addr: BlockAddr, gen: int) -> None:
+        """Mark ``addr`` as migrated away: this node keeps the bytes (a
+        failed migration can still read them via the rebalancer, which
+        stamps no generation) but refuses generation-stamped client
+        traffic for them permanently."""
+        key = (addr.volume, addr.stripe)
+        if gen > self._stripe_gens.get(key, -1):
+            self._stripe_gens[key] = gen
+        self._retired.add(addr)
 
     # ------------------------------------------------------------------
     # failure-detector integration & introspection
@@ -535,3 +619,14 @@ class StorageNode(RpcHandler):
         """Direct (non-RPC) state access for tests and invariant checks."""
         with self._lock:
             return self._state(addr)
+
+    def stripe_generation(self, volume: str, stripe: int) -> int | None:
+        """Direct (non-RPC) placement-generation record, for invariant
+        checks; None means no migration has touched the stripe here."""
+        with self._lock:
+            return self._stripe_gens.get((volume, stripe))
+
+    def is_retired(self, addr: BlockAddr) -> bool:
+        """Direct (non-RPC) retire-marker check, for invariant checks."""
+        with self._lock:
+            return addr in self._retired

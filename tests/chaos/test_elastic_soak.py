@@ -1,0 +1,93 @@
+"""The elastic-cluster soak: grow/shrink under chaos and crash points,
+deterministic digests, the rebalance-bytes bound, and the graceful-
+degradation proof."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.invariants import check_rebalance_bytes
+from repro.chaos.elastic_soak import (
+    ElasticSoakConfig,
+    prove_graceful_degradation,
+    run_elastic_soak,
+    smoke_config,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_reports():
+    """Two same-seed smoke runs, shared across the determinism and
+    pass/fail tests (each run builds and drains a whole cluster)."""
+    config = smoke_config(seed=11)
+    return run_elastic_soak(config), run_elastic_soak(config)
+
+
+class TestElasticSoak:
+    def test_smoke_run_passes(self, smoke_reports):
+        report, _ = smoke_reports
+        assert report.violations == []
+        assert report.op_failures == 0
+        assert report.unfinished == []
+        assert report.chaos_reconciled is not False
+        assert report.passed
+        # The run actually exercised the machinery it claims to cover.
+        assert report.generations >= 2  # two grows + one shrink proposed
+        assert report.migrations.get("migrated", 0) > 0
+        assert report.bytes_moved > 0
+        assert report.stale_refetches > 0  # remaps were learned by rejection
+        assert report.crash_resumes > 0  # crash points fired and resumed
+
+    def test_same_seed_same_digests(self, smoke_reports):
+        a, b = smoke_reports
+        assert a.history_digest == b.history_digest
+        assert a.ledger_digest == b.ledger_digest
+        assert a.placement_digest == b.placement_digest
+        assert a.ops_run == b.ops_run
+        assert a.bytes_moved == b.bytes_moved
+
+    def test_different_seed_different_history(self, smoke_reports):
+        a, _ = smoke_reports
+        other = run_elastic_soak(smoke_config(seed=12))
+        assert other.passed
+        assert other.history_digest != a.history_digest
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ElasticSoakConfig(pool_start=3, n=4).validate()
+        with pytest.raises(ValueError):
+            ElasticSoakConfig(pool_start=8, pool_peak=8).validate()
+        with pytest.raises(ValueError):
+            # Shrinking below stripe width would strand stripes.
+            ElasticSoakConfig(pool_peak=10, decommission=8, n=4).validate()
+        with pytest.raises(ValueError):
+            ElasticSoakConfig(decommission=0).validate()
+        smoke_config().validate()  # the shipped configs are valid
+        ElasticSoakConfig().validate()
+
+
+class TestRebalanceBytesBound:
+    def test_within_bound_is_clean(self):
+        assert check_rebalance_bytes(4 * 64 * 10, 10, 4, 64, factor=2.0) == []
+
+    def test_full_reshuffle_blowup_is_flagged(self):
+        violations = check_rebalance_bytes(
+            4 * 64 * 10 * 3, 10, 4, 64, factor=2.0
+        )
+        assert [v.invariant for v in violations] == ["rebalance_bytes_bounded"]
+
+    def test_zero_moved_stripes_must_move_zero_bytes(self):
+        assert check_rebalance_bytes(0, 0, 4, 64) == []
+        assert check_rebalance_bytes(64, 0, 4, 64) != []
+
+
+class TestGracefulDegradation:
+    def test_proof_holds(self):
+        proof = prove_graceful_degradation(seed=11)
+        assert proof.crashed_at == "rebalance.before_commit"
+        assert proof.readable_while_degraded
+        assert proof.gen_unchanged_while_degraded
+        assert proof.readable_after_resume
+        assert proof.resumed_gen == proof.gen_before + 1
+        assert proof.holds
+        assert "HOLDS" in proof.summary()

@@ -7,6 +7,7 @@ import pytest
 
 from repro.chaos.explorer import (
     COMPANIONS,
+    POINT_OPS,
     CrashStep,
     ExplorerConfig,
     Schedule,
@@ -45,7 +46,7 @@ class TestExhaustiveSweep:
         schedules = exhaustive_schedules(config)
         points = {s.steps[0].point for s in schedules}
         companions = {s.steps[0].companion for s in schedules}
-        assert points == set(CRASH_POINT_CATALOGUE)
+        assert points == set(POINT_OPS)
         assert companions == set(COMPANIONS)
 
     def test_sweep_passes_all_quiescence_invariants(self):

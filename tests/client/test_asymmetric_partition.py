@@ -35,7 +35,7 @@ def primary_node(cluster: Cluster, block: int) -> str:
 def assert_stripe_unlocked(cluster: Cluster, stripe: int) -> None:
     prober = cluster.protocol_client("lockcheck")
     for j in range(cluster.code.n):
-        _, lmode, _ = prober._call(stripe, j, "probe", prober._addr(stripe, j))
+        _, lmode, _, _ = prober._call(stripe, j, "probe", prober._addr(stripe, j))
         assert lmode is LockMode.UNL
 
 

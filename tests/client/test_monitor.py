@@ -96,3 +96,69 @@ class TestMonitorDetection:
             assert cluster_3of5.stripe_consistent(s)
         for b in range(9):
             assert vol.read_block(b)[:1] == bytes([b + 1])
+
+
+class TestTriggerIdempotence:
+    """Regression: two sweeps observing the same damage instance must
+    run exactly one recovery.  The trigger memo is per (stripe, epoch):
+    an in-flight or completed trigger for the observed epoch suppresses
+    re-detection, while genuinely new damage — which always surfaces at
+    a strictly newer epoch — still fires."""
+
+    def test_memo_suppresses_same_epoch_and_admits_newer(self, small_cluster):
+        from repro.client.monitor import Monitor
+
+        mon = Monitor(small_cluster.protocol_client("m"), stale_after=0.0)
+        assert mon._should_trigger(0, 3)
+        assert not mon._should_trigger(0, 3)  # in flight
+        assert not mon._should_trigger(0, 5)  # in flight blocks any epoch
+        mon._finish_trigger(0, 3, completed=True)
+        assert not mon._should_trigger(0, 3)  # handled
+        assert not mon._should_trigger(0, 2)  # older observation, too
+        assert mon._should_trigger(0, 4)  # new damage instance
+        mon._finish_trigger(0, 4, completed=False)
+        assert mon._should_trigger(0, 4)  # incomplete stays retriable
+
+    def test_overlapping_sweeps_run_exactly_one_recovery(self, small_cluster):
+        import threading
+
+        from repro.client.monitor import Monitor
+        from repro.crashpoints import CrashPlan
+
+        vol = small_cluster.client("c")
+        vol.write_block(0, b"aa")
+        small_cluster.crash_storage(
+            small_cluster.layout.node_of_stripe_index(0, 0)
+        )
+        prober = small_cluster.protocol_client("m")
+        mon = Monitor(prober, stale_after=0.0)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def pause(point, count, detail):
+            entered.set()
+            assert release.wait(5.0), "sweep B never released sweep A"
+
+        plan = CrashPlan()
+        plan.arm("monitor.before_recover", action=pause)
+        prober.crashpoints = plan
+        reports = {}
+        thread = threading.Thread(
+            target=lambda: reports.__setitem__("a", mon.sweep([0]))
+        )
+        thread.start()
+        assert entered.wait(5.0), "sweep A never reached its trigger"
+        # Sweep B sees the same damaged stripe while A is in flight.
+        reports["b"] = mon.sweep([0])
+        release.set()
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert reports["b"].duplicate_triggers == 1
+        assert reports["b"].recovered_stripes == []
+        assert reports["a"].recovered_stripes == [0]
+        assert small_cluster.stripe_consistent(0)
+        assert vol.read_block(0)[:2] == b"aa"
+        # The damage is gone: a third sweep is a no-op, not a re-trigger.
+        again = mon.sweep([0])
+        assert again.recovered_stripes == []
+        assert again.duplicate_triggers == 0

@@ -159,5 +159,5 @@ class TestBusyBackground:
         # Nothing held a recovery lock through the episode.
         prober = cluster.protocol_client("lockcheck")
         for j in range(4):
-            _, lmode, _ = prober._call(0, j, "probe", prober._addr(0, j))
+            _, lmode, _, _ = prober._call(0, j, "probe", prober._addr(0, j))
             assert lmode is LockMode.UNL

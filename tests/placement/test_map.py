@@ -1,0 +1,119 @@
+"""The versioned consistent-hash placement map and its client cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.placement.map import PlacementCache, PlacementMap
+
+
+class TestPlacementMap:
+    def test_same_config_same_slots(self):
+        a = PlacementMap(width=4, members=range(8), seed=3)
+        b = PlacementMap(width=4, members=range(8), seed=3)
+        for stripe in range(32):
+            assert a.slots_for(stripe) == b.slots_for(stripe)
+
+    def test_different_seed_different_assignment(self):
+        a = PlacementMap(width=4, members=range(8), seed=1)
+        b = PlacementMap(width=4, members=range(8), seed=2)
+        assert any(
+            a.slots_for(s) != b.slots_for(s) for s in range(32)
+        )
+
+    def test_slots_are_width_distinct_pool_members(self):
+        placement = PlacementMap(width=4, members=range(8), seed=0)
+        for stripe in range(64):
+            slots = placement.slots_for(stripe)
+            assert len(slots) == 4
+            assert len(set(slots)) == 4
+            assert set(slots) <= set(range(8))
+
+    def test_pool_smaller_than_width_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementMap(width=4, members=range(3), seed=0)
+        placement = PlacementMap(width=4, members=range(8), seed=0)
+        with pytest.raises(ValueError):
+            placement.propose(range(2))
+
+    def test_generations_and_commit(self):
+        placement = PlacementMap(width=4, members=range(8), seed=0)
+        assert placement.latest_gen == placement.BASE_GEN
+        gen = placement.propose(range(12))
+        assert gen == placement.BASE_GEN + 1
+        assert placement.latest_gen == gen
+        assert placement.committed_gen(5) == placement.BASE_GEN
+        placement.commit_stripe(5, gen)
+        assert placement.committed_gen(5) == gen
+        assert placement.lookup(5) == (gen, placement.slots_for(5, gen))
+
+    def test_commit_is_monotonic(self):
+        placement = PlacementMap(width=4, members=range(8), seed=0)
+        g1 = placement.propose(range(10))
+        g2 = placement.propose(range(12))
+        placement.commit_stripe(0, g2)
+        # A lagging committer can never roll a stripe backward: the
+        # older commit is absorbed, not applied.
+        placement.commit_stripe(0, g1)
+        assert placement.committed_gen(0) == g2
+        with pytest.raises(ValueError):
+            placement.commit_stripe(1, g2 + 1)  # unknown generation
+
+    def test_moved_vs_pending_stripes(self):
+        placement = PlacementMap(width=4, members=range(8), seed=0)
+        stripes = range(64)
+        placement.propose(range(10))
+        moved = placement.moved_stripes(stripes)
+        pending = placement.pending_stripes(stripes)
+        # Everything is behind the new generation, but only stripes
+        # whose slot tuple actually changed need bytes moved.
+        assert pending == list(stripes)
+        assert set(moved) <= set(pending)
+        assert 0 < len(moved) < len(list(stripes))
+
+    def test_growth_moves_fewer_pairs_than_a_reshuffle(self):
+        """The incremental-movement property the bytes bound rests on:
+        a moved stripe usually keeps some positions on their old slots
+        (those pairs copy no bytes), and unmoved stripes copy none."""
+        placement = PlacementMap(width=4, members=range(8), seed=5)
+        gen = placement.propose(range(10))
+        stripes = range(128)
+        moved = placement.moved_stripes(stripes)
+        changed_pairs = sum(
+            a != b
+            for s in moved
+            for a, b in zip(
+                placement.slots_for(s, placement.BASE_GEN),
+                placement.slots_for(s, gen),
+            )
+        )
+        assert len(moved) < len(list(stripes))  # some stripes stay put
+        assert changed_pairs < len(moved) * 4  # a full reshuffle would tie
+
+    def test_digest_tracks_map_state(self):
+        a = PlacementMap(width=4, members=range(8), seed=3)
+        b = PlacementMap(width=4, members=range(8), seed=3)
+        assert a.digest() == b.digest()
+        gen = a.propose(range(10))
+        assert a.digest() != b.digest()
+        b.propose(range(10))
+        assert a.digest() == b.digest()
+        a.commit_stripe(7, gen)
+        assert a.digest() != b.digest()
+
+
+class TestPlacementCache:
+    def test_entry_is_cached_until_invalidated(self):
+        placement = PlacementMap(width=4, members=range(8), seed=0)
+        cache = PlacementCache(placement)
+        first = cache.entry(3)
+        assert cache.entry(3) is first
+        assert cache.fetches == 1
+        gen = placement.propose(range(10))
+        placement.commit_stripe(3, gen)
+        # Stale until told otherwise: remaps are learned by rejection.
+        assert cache.entry(3) is first
+        cache.invalidate(3)
+        refreshed = cache.entry(3)
+        assert refreshed == (gen, placement.slots_for(3, gen))
+        assert cache.fetches == 2

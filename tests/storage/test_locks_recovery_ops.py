@@ -193,10 +193,10 @@ class TestGcOps:
 class TestProbe:
     def test_probe_reports_opmode_and_age(self):
         node = make_node()
-        opmode, lmode, age = node.probe(addr(0))
+        opmode, lmode, age, _epoch = node.probe(addr(0))
         assert opmode is OpMode.NORM
         assert lmode is LockMode.UNL
         assert age is None
         node.swap(addr(0), block(1), tid(1))
-        _, _, age = node.probe(addr(0))
+        _, _, age, _ = node.probe(addr(0))
         assert age is not None and age >= 0

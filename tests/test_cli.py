@@ -64,7 +64,7 @@ class TestCli:
     def test_metrics_rejects_malformed_snapshot(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text("{}")
-        assert main(["metrics", "--from", str(bad)]) == 1
+        assert main(["metrics", "--from", str(bad)]) == 2
         assert "invalid metrics snapshot" in capsys.readouterr().err
 
     def test_trace_dump_demo_write(self, capsys):
@@ -148,7 +148,7 @@ class TestCli:
     def test_replay_schedule_rejects_garbage(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text("{}")
-        assert main(["replay-schedule", str(bad)]) == 1
+        assert main(["replay-schedule", str(bad)]) == 2
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
