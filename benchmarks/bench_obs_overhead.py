@@ -1,9 +1,12 @@
 """Microbench — instrumentation cost on the swap/add hot path.
 
 The observability layer's contract is that an uninstrumented system
-pays only guard work: ``StorageNode.handle`` pops the ``_trace`` kwarg
-and checks ``metrics.enabled`` / ``tracer.enabled`` against the NULL
-sinks; ``Transport.call`` adds one more ``enabled`` check.  This bench
+pays only guard work: ``StorageNode.handle`` pops the ``_trace`` and
+``_op`` kwargs and checks ``metrics.enabled`` / ``tracer.enabled``
+against the NULL sinks; ``Transport.call`` adds one more ``enabled``
+check, and the wire-accounting layer adds the client's op-kind stamp
+check plus the transports' ``_op`` pops (no-ops when the tag was never
+attached).  This bench
 measures that guard cost directly, relates it to the real cost of a
 swap/add storage op, and asserts the disabled-path overhead is under
 2%.  It also reports the *enabled* cost (counters + histogram + trace
@@ -69,17 +72,28 @@ def _time_ops(node: StorageNode, op: str, traced: bool) -> float:
 
 def _guard_cost() -> float:
     """Seconds per op of the exact disabled-path additions: the
-    ``_trace`` pop plus the NULL-sink ``enabled`` checks made by the
-    node and the transport."""
+    ``_trace`` and ``_op`` pops plus the NULL-sink ``enabled`` checks
+    made by the client, the node, and the transport.
+
+    The wire-accounting layer adds exactly two ops when observability
+    is off: the client's ``op_kind is not None and metrics.enabled``
+    stamp check in ``_call_once`` (the ``_op`` kwarg is never attached,
+    so the transports' ``kwargs.pop("_op")`` runs against a dict
+    without the key), and the node's defensive ``_op`` pop."""
     metrics = NULL_REGISTRY
     tracer = NULL_TRACER
     kwargs: dict = {}
+    op_kind = "write"
     sink = 0
     start = time.perf_counter()
     for _ in range(GUARD_LOOPS):
         if not metrics.enabled:  # Transport.call fast path
             sink += 1
+        if op_kind is not None and metrics.enabled:  # _call_once stamp
+            sink -= 1
+        kwargs.pop("_op", None)  # transport _call_impl attribution pop
         trace = kwargs.pop("_trace", None)  # StorageNode.handle
+        kwargs.pop("_op", None)  # StorageNode.handle defensive pop
         if metrics.enabled:
             sink += 1
         if trace is not None and tracer.enabled:

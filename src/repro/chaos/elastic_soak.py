@@ -53,6 +53,7 @@ from repro.analysis.invariants import (
     check_quiescence,
     check_rebalance_bytes,
 )
+from repro.analysis.costmodel import CostAuditor, CostModel
 from repro.analysis.registers import HistoryRecorder
 from repro.client.config import ClientConfig, WriteStrategy
 from repro.client.gc import GcManager
@@ -174,6 +175,9 @@ class ElasticSoakReport:
     metrics: dict = field(default_factory=dict)
     trace_events: int = 0
     chaos_reconciled: bool | None = None
+    #: Paper-cost-model conformance (bounded mode; None = not observed).
+    cost_conformant: bool | None = None
+    cost_report: dict = field(default_factory=dict)
     flight_path: str | None = None
 
     @property
@@ -183,6 +187,7 @@ class ElasticSoakReport:
             and self.op_failures == 0
             and not self.unfinished
             and self.chaos_reconciled is not False
+            and self.cost_conformant is not False
         )
 
     def summary(self) -> str:
@@ -227,6 +232,15 @@ class ElasticSoakReport:
             lines.append(
                 f"  observability: trace events={self.trace_events} "
                 f"ledger-vs-metrics reconciled={self.chaos_reconciled}"
+            )
+        if self.cost_conformant is not None:
+            lines.append(
+                f"  cost conformance (bounded): "
+                f"{'ok' if self.cost_conformant else 'VIOLATION'} "
+                f"excess={self.cost_report.get('total_excess_messages', 0)} "
+                f"msgs, explainers="
+                f"{self.cost_report.get('ledger_explainers', 0)} ledger + "
+                f"{self.cost_report.get('retry_explainers', 0)} retry"
             )
         if self.flight_path:
             lines.append(f"  flight recorder: {self.flight_path}")
@@ -524,6 +538,15 @@ def run_elastic_soak(config: ElasticSoakConfig) -> ElasticSoakReport:
         ) and sum(report.ledger_counts.values()) == obs.registry.sum_counter(
             "chaos_faults_total"
         )
+        cost_model = CostModel(
+            n=config.n, k=config.k, block_size=config.block_size,
+            strategy="parallel",
+        )
+        cost_audit = CostAuditor(cost_model, fault_free=False).audit(
+            report.metrics, ledger_counts=report.ledger_counts
+        )
+        report.cost_conformant = cost_audit.passed
+        report.cost_report = cost_audit.to_json()
     report.duration = time.perf_counter() - started
     if obs is not None and config.flight_dir and not report.passed:
         report.flight_path = obs.flight.dump(
@@ -534,6 +557,7 @@ def run_elastic_soak(config: ElasticSoakConfig) -> ElasticSoakReport:
                 "violations": report.violations,
                 "op_failures": report.op_failures,
                 "unfinished": report.unfinished,
+                "cost_report": report.cost_report,
             },
         )
     return report

@@ -43,6 +43,7 @@ import random
 import time
 from dataclasses import dataclass, field
 
+from repro.analysis.costmodel import CostAuditor, CostModel
 from repro.client.config import ClientConfig
 from repro.core.cluster import Cluster
 from repro.errors import ReproError
@@ -147,6 +148,11 @@ class GraySoakReport:
     overload: OverloadResult | None = None
     #: Registry snapshot from the (first) hedged run.
     metrics: dict = field(default_factory=dict)
+    #: Paper-cost-model conformance of the observed (hedged) phase,
+    #: bounded mode: hedge fan-outs and stall-timeouts must explain all
+    #: excess wire traffic.  None = not observed.
+    cost_conformant: bool | None = None
+    cost_report: dict = field(default_factory=dict)
     flight_path: str | None = None
 
     @property
@@ -190,6 +196,7 @@ class GraySoakReport:
             and self.digests_stable
             and self.plans_identical
             and (self.overload is None or self.overload.clean)
+            and self.cost_conformant is not False
         )
 
     def summary(self) -> str:
@@ -227,6 +234,15 @@ class GraySoakReport:
             f"  hedged vs un-hedged fault plans identical: "
             f"{self.plans_identical}"
         )
+        if self.cost_conformant is not None:
+            lines.append(
+                f"  cost conformance (bounded, hedged phase): "
+                f"{'ok' if self.cost_conformant else 'VIOLATION'} "
+                f"excess={self.cost_report.get('total_excess_messages', 0)} "
+                f"msgs, explainers="
+                f"{self.cost_report.get('ledger_explainers', 0)} ledger + "
+                f"{self.cost_report.get('retry_explainers', 0)} retry"
+            )
         if self.overload is not None:
             o = self.overload
             lines.append(
@@ -421,6 +437,17 @@ def run_gray_soak(config: GraySoakConfig) -> GraySoakReport:
         report.overload = _run_overload(config)
     if obs is not None:
         report.metrics = obs.registry.snapshot()
+        # Ledger explainers come from the snapshot's chaos_faults_total
+        # mirror (the observed cluster's ledger, 1:1 by construction).
+        cost_model = CostModel(
+            n=config.n, k=config.k, block_size=config.block_size,
+            strategy="parallel",
+        )
+        cost_audit = CostAuditor(cost_model, fault_free=False).audit(
+            report.metrics
+        )
+        report.cost_conformant = cost_audit.passed
+        report.cost_report = cost_audit.to_json()
     report.duration = time.perf_counter() - started
     if obs is not None and config.flight_dir and not report.passed:
         report.flight_path = obs.flight.dump(
@@ -432,6 +459,7 @@ def run_gray_soak(config: GraySoakConfig) -> GraySoakReport:
                 "hedged_p99": report.hedged.p99 if report.hedged else None,
                 "digests_stable": report.digests_stable,
                 "plans_identical": report.plans_identical,
+                "cost_report": report.cost_report,
             },
         )
     return report

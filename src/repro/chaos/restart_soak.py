@@ -49,6 +49,7 @@ from repro.client.monitor import Monitor
 from repro.client.rebuild import Rebuilder
 from repro.client.scrub import Scrubber
 from repro.core.cluster import Cluster, RestartReport
+from repro.analysis.costmodel import CostAuditor, CostModel
 from repro.errors import ReproError
 from repro.net.chaos import FaultPlan
 from repro.net.message import diff_snapshots
@@ -141,6 +142,9 @@ class PolicyOutcome:
     #: Ledger-vs-registry audit: None = not observed; True = the
     #: ``chaos_faults_total`` counters match the chaos ledger exactly.
     chaos_reconciled: bool | None = None
+    #: Paper-cost-model conformance (bounded mode; None = not observed).
+    cost_conformant: bool | None = None
+    cost_report: dict = field(default_factory=dict)
     #: Flight-recorder dumps written during this run (dirty replays and
     #: end-of-run failures).
     flight_paths: list[str] = field(default_factory=list)
@@ -153,6 +157,7 @@ class PolicyOutcome:
             and self.store_clean
             and self.op_failures == 0
             and self.chaos_reconciled is not False
+            and self.cost_conformant is not False
         )
 
 
@@ -242,6 +247,14 @@ class RestartSoakReport:
                 lines.append(
                     f"    observability: trace events={outcome.trace_events} "
                     f"ledger-vs-metrics reconciled={outcome.chaos_reconciled}"
+                )
+            if outcome.cost_conformant is not None:
+                lines.append(
+                    f"    cost conformance (bounded): "
+                    f"{'ok' if outcome.cost_conformant else 'VIOLATION'} "
+                    f"excess="
+                    f"{outcome.cost_report.get('total_excess_messages', 0)} "
+                    f"msgs"
                 )
             for path in outcome.flight_paths:
                 lines.append(f"    flight recorder: {path}")
@@ -452,6 +465,15 @@ def _run_policy(config: RestartSoakConfig, policy: str) -> PolicyOutcome:
         ) and sum(ledger_counts.values()) == obs.registry.sum_counter(
             "chaos_faults_total"
         )
+        cost_model = CostModel(
+            n=config.n, k=config.k, block_size=config.block_size,
+            strategy="parallel",
+        )
+        cost_audit = CostAuditor(cost_model, fault_free=False).audit(
+            outcome.metrics, ledger_counts=ledger_counts
+        )
+        outcome.cost_conformant = cost_audit.passed
+        outcome.cost_report = cost_audit.to_json()
         if config.flight_dir and not outcome.ok:
             outcome.flight_paths.append(
                 obs.flight.dump(

@@ -31,6 +31,7 @@ import random
 import time
 from dataclasses import dataclass, field
 
+from repro.analysis.costmodel import CostAuditor, CostModel
 from repro.analysis.registers import HistoryRecorder
 from repro.client.config import ClientConfig, WriteStrategy
 from repro.client.scrub import Scrubber
@@ -107,6 +108,11 @@ class SoakReport:
     #: Ledger-vs-registry audit: None = not observed; True = the
     #: ``chaos_faults_total`` counters match ``ledger_counts`` exactly.
     chaos_reconciled: bool | None = None
+    #: Paper-cost-model conformance (bounded mode: every excess message
+    #: must be explained by the fault ledger).  None = not observed.
+    cost_conformant: bool | None = None
+    #: Full ``CostAuditReport.to_json()`` payload when observed.
+    cost_report: dict = field(default_factory=dict)
     flight_path: str | None = None
 
     @property
@@ -117,6 +123,7 @@ class SoakReport:
             and self.store_clean
             and self.op_failures == 0
             and self.chaos_reconciled is not False
+            and self.cost_conformant is not False
         )
 
     def summary(self) -> str:
@@ -148,6 +155,15 @@ class SoakReport:
             lines.append(
                 f"  observability: trace events={self.trace_events} "
                 f"ledger-vs-metrics reconciled={self.chaos_reconciled}"
+            )
+        if self.cost_conformant is not None:
+            excess = self.cost_report.get("total_excess_messages", 0)
+            lines.append(
+                f"  cost conformance (bounded): "
+                f"{'ok' if self.cost_conformant else 'VIOLATION'} "
+                f"excess={excess} msgs, "
+                f"explainers={self.cost_report.get('ledger_explainers', 0)} "
+                f"ledger + {self.cost_report.get('retry_explainers', 0)} retry"
             )
         if self.flight_path:
             lines.append(f"  flight recorder: {self.flight_path}")
@@ -275,6 +291,19 @@ def run_soak(config: SoakConfig) -> SoakReport:
         ) and sum(report.ledger_counts.values()) == obs.registry.sum_counter(
             "chaos_faults_total"
         )
+        # Paper-cost-model conformance: with faults in play the audit
+        # runs bounded — measured traffic may exceed the Fig. 1 figures
+        # only within a ledger/retry-derived allowance, and any excess
+        # with an empty ledger is a violation.
+        cost_model = CostModel(
+            n=config.n, k=config.k, block_size=config.block_size,
+            strategy="parallel",
+        )
+        cost_audit = CostAuditor(cost_model, fault_free=False).audit(
+            report.metrics, ledger_counts=report.ledger_counts
+        )
+        report.cost_conformant = cost_audit.passed
+        report.cost_report = cost_audit.to_json()
     report.duration = time.perf_counter() - started
     if obs is not None and config.flight_dir and not report.passed:
         report.flight_path = obs.flight.dump(
@@ -285,6 +314,7 @@ def run_soak(config: SoakConfig) -> SoakReport:
                 "violations": report.violations,
                 "op_failures": report.op_failures,
                 "store_mismatches": report.store_mismatches,
+                "cost_report": report.cost_report,
             },
         )
     return report

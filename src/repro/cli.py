@@ -33,6 +33,12 @@ Commands
 ``replay-schedule`` re-execute a saved (minimized) crash schedule
                 bit-for-bit and compare its verdict against the one
                 recorded at save time
+``cost-report`` paper-cost-model conformance audit: drive a seeded
+                fault-free workload (writes, reads, a recovery, GC,
+                monitor, scrub), reconcile the measured per-op wire
+                traffic against the Fig. 1 predictions exactly, and
+                show the critical path of the last write; or audit a
+                saved snapshot (bounded mode) with ``--from``
 ``metrics``     run a small instrumented workload and print the metrics
                 registry (Prometheus exposition or JSON), or re-render
                 and validate a saved snapshot with ``--from``
@@ -46,6 +52,7 @@ import argparse
 import os
 import sys
 
+from repro.analysis.costmodel import CostAuditor, CostModel
 from repro.analysis.resiliency import resiliency_profile
 from repro.baselines.costs import format_cost_table
 from repro.chaos.elastic_soak import (
@@ -68,6 +75,7 @@ from repro.core.cluster import Cluster
 from repro.obs import (
     Observability,
     build_span_tree,
+    critical_path,
     flight_events,
     load_flight,
     load_snapshot,
@@ -103,11 +111,12 @@ def _ensure_dir(path: str | None) -> None:
         os.makedirs(path, exist_ok=True)
 
 
-def _write_metrics(path: str, snapshot: dict) -> None:
+def _write_metrics(path: str, snapshot: dict, quiet: bool = False) -> None:
     _ensure_parent(path)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(snapshot_to_json(snapshot) + "\n")
-    print(f"  metrics snapshot: {path}")
+    if not quiet:
+        print(f"  metrics snapshot: {path}")
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -447,6 +456,111 @@ def cmd_trace_dump(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cost_report_workload(
+    k: int, n: int, block_size: int, writes: int, seed: int, strategy: str
+) -> Observability:
+    """A seeded, strictly fault-free workload that lights up every op
+    kind the cost model predicts: writes (swap + adds), reads, one
+    recovery on a healthy stripe (all three phases), a GC round, a
+    monitor sweep, and a parity scrub.  No crash, no chaos — the
+    measured wire traffic must equal the paper's failure-free columns.
+    """
+    import numpy as np
+
+    from repro.client.config import ClientConfig
+    from repro.client.gc import GcManager
+    from repro.client.monitor import Monitor
+    from repro.client.scrub import Scrubber
+
+    obs = Observability.create()
+    cluster = Cluster(
+        k=k, n=n, block_size=block_size, seed=seed, observability=obs
+    )
+    client = cluster.protocol_client(
+        "cost", ClientConfig(strategy=WriteStrategy(strategy))
+    )
+    stripes = max(1, min(3, writes))
+    for i in range(writes):
+        value = (np.arange(block_size, dtype=np.uint64) * (i + 1) + seed) % 256
+        client.write(i % stripes, i % k, value.astype(np.uint8))
+    for i in range(writes):
+        client.read(i % stripes, i % k)
+    client._start_recovery(0)
+    GcManager(client).run_once()
+    Monitor(client).sweep(range(stripes))
+    Scrubber(client, repair=False).scrub(range(stripes))
+    return obs
+
+
+def _write_critical_path(events: list) -> str | None:
+    """Longest-path rendering for the last write trace, if any."""
+    write_ids = [t for t in trace_ids(events) if ":w" in t]
+    if not write_ids:
+        return None
+    tree = build_span_tree(events, write_ids[-1])
+    if tree is None:
+        return None
+    path = critical_path(tree)
+    return (
+        f"critical path of write {write_ids[-1]} "
+        f"({path.duration * 1000:.3f}ms, dominant leg: "
+        f"{path.dominant.kind}):\n" + path.describe()
+    )
+
+
+def cmd_cost_report(args: argparse.Namespace) -> int:
+    if args.from_file:
+        try:
+            snapshot = load_snapshot(args.from_file)
+        except (OSError, ValueError) as exc:
+            print(f"invalid metrics snapshot: {exc}", file=sys.stderr)
+            return 2
+        obs = None
+        fault_free = args.exact
+    else:
+        try:
+            obs = _cost_report_workload(
+                args.k, args.n, args.block_size, args.writes, args.seed,
+                args.strategy,
+            )
+        except ValueError as exc:
+            print(f"invalid cost-report parameters: {exc}", file=sys.stderr)
+            return 2
+        snapshot = obs.registry.snapshot()
+        fault_free = True
+    model = CostModel(
+        n=args.n, k=args.k, block_size=args.block_size,
+        strategy=args.strategy,
+    )
+    report = CostAuditor(model, fault_free=fault_free).audit(snapshot)
+    path_text = _write_critical_path(obs.tracer.events()) if obs else None
+    if args.out:
+        # Keep --json stdout machine-parseable: the snapshot note would
+        # otherwise precede the payload.
+        _write_metrics(args.out, snapshot, quiet=args.json)
+    if args.json:
+        import json as _json
+
+        payload = report.to_json()
+        payload["geometry"] = {
+            "k": args.k, "n": args.n, "block_size": args.block_size,
+            "strategy": args.strategy, "seed": args.seed,
+        }
+        if path_text:
+            payload["critical_path"] = path_text
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"cost report: {args.k}-of-{args.n}, block size "
+            f"{args.block_size}, strategy {args.strategy}"
+            + ("" if args.from_file else f", seed {args.seed}")
+        )
+        print(report.summary())
+        if path_text:
+            print(path_text)
+    return 0 if report.passed else 1
+
+
 def _add_observe_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-observe", action="store_true",
@@ -658,6 +772,38 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--out", metavar="FILE", default=None,
                          help="also write the JSON snapshot to FILE")
     metrics.set_defaults(func=cmd_metrics)
+
+    cost_report = sub.add_parser(
+        "cost-report",
+        help="paper-cost-model conformance: measured vs predicted wire "
+             "traffic per op kind (fault-free workload or saved snapshot)",
+        epilog=EXIT_CODES_EPILOG,
+    )
+    cost_report.add_argument("--k", type=int, default=3)
+    cost_report.add_argument("--n", type=int, default=5)
+    cost_report.add_argument("--block-size", type=int, default=1024)
+    cost_report.add_argument("--writes", type=int, default=6,
+                             help="writes (and reads) in the workload")
+    cost_report.add_argument("--seed", type=int, default=7)
+    cost_report.add_argument(
+        "--strategy", choices=["parallel", "serial", "broadcast"],
+        default="parallel", help="AJX write variant to audit",
+    )
+    cost_report.add_argument(
+        "--from", dest="from_file", metavar="FILE", default=None,
+        help="audit a saved metrics snapshot (bounded mode) instead of "
+             "running the fault-free workload; geometry flags must match "
+             "the run that produced it",
+    )
+    cost_report.add_argument(
+        "--exact", action="store_true",
+        help="with --from: demand exact fault-free conformance",
+    )
+    cost_report.add_argument("--json", action="store_true",
+                             help="print the audit as JSON")
+    cost_report.add_argument("--out", metavar="FILE", default=None,
+                             help="also write the metrics snapshot to FILE")
+    cost_report.set_defaults(func=cmd_cost_report)
 
     trace = sub.add_parser(
         "trace-dump",

@@ -110,7 +110,8 @@ class GcManager:
             for _ in range(self.max_attempts):
                 try:
                     result = self.client._call(
-                        stripe, j, op, addr, sorted(batches[j], key=str)
+                        stripe, j, op, addr, sorted(batches[j], key=str),
+                        op_kind="gc",
                     )
                 except NodeBusyError:
                     # Shed by admission control: the node is fine, just
@@ -127,6 +128,7 @@ class GcManager:
                     return True
             return False
 
+        self.client._account_round("gc")
         results = pfor(sorted(batches), one)
         return {j for j, ok in results.items() if ok is True}
 

@@ -164,8 +164,10 @@ class Monitor:
         data: dict[int, StateSnapshot] = {}
         for j in range(client.n):
             try:
+                client._account_round("monitor")
                 data[j] = client._call(
-                    stripe, j, "get_state", client._addr(stripe, j)
+                    stripe, j, "get_state", client._addr(stripe, j),
+                    op_kind="monitor",
                 )
             except NodeBusyError:
                 return False  # overloaded != degraded; check next sweep
@@ -185,8 +187,9 @@ class Monitor:
             addr = self.client._addr(stripe, j)
             report.probed += 1
             try:
+                self.client._account_round("monitor")
                 opmode, lmode, age, epoch = self.client._call(
-                    stripe, j, "probe", addr
+                    stripe, j, "probe", addr, op_kind="monitor"
                 )
                 epochs.append(epoch)
             except NodeBusyError:

@@ -250,10 +250,16 @@ class ProtocolClient:
         op: str,
         *args,
         trace_ctx: TraceContext | None = None,
+        op_kind: str | None = None,
         **kwargs,
     ):
         """RPC to the node serving stripe position ``index``; on fail-stop
         detection, remap and re-raise so the caller enters recovery.
+
+        ``op_kind`` attributes the RPC's wire cost to the logical
+        operation issuing it (write, read, recovery_phase1, gc, ...);
+        it piggybacks like ``_trace`` and is stripped by the transport
+        before the payload is sized, so it never changes behaviour.
 
         A :class:`NodeBusyError` (server-side admission shed) is retried
         here with jittered backoff — overload is a *retryable* condition,
@@ -272,7 +278,7 @@ class ProtocolClient:
                     try:
                         return self._call_once(
                             stripe, index, op, *args, trace_ctx=trace_ctx,
-                            **kwargs,
+                            op_kind=op_kind, **kwargs,
                         )
                     except NodeBusyError:
                         self.stats.bump("busy_rejections")
@@ -296,6 +302,7 @@ class ProtocolClient:
         op: str,
         *args,
         trace_ctx: TraceContext | None = None,
+        op_kind: str | None = None,
         **kwargs,
     ):
         """One RPC attempt, feeding the shared health registry.
@@ -322,6 +329,8 @@ class ProtocolClient:
             kwargs["_trace"] = trace_ctx.wire()
         if gen is not None:
             kwargs["_gen"] = gen
+        if op_kind is not None and self.metrics.enabled:
+            kwargs["_op"] = op_kind
         start = time.perf_counter()
         try:
             result = proxy.call(op, *args, **kwargs)
@@ -347,6 +356,14 @@ class ProtocolClient:
         if self.retry_budget is not None:
             self.retry_budget.deposit()
         return result
+
+    def _account_round(self, kind: str | None, rounds: int = 1) -> None:
+        """Count logical round trips for the cost auditor.  A "round" is
+        one client-side wait-for-answers step: a serial RPC is one
+        round each; a pfor/broadcast batch is one round total (the
+        paper's latency unit in Fig. 1)."""
+        if kind is not None and self.metrics.enabled:
+            self.metrics.counter("rpc_rounds_total", kind=kind).inc(rounds)
 
     # ------------------------------------------------------------------
     # READ — Fig. 4
@@ -378,7 +395,10 @@ class ProtocolClient:
                     if hedged is not None:
                         return hedged
                 else:
-                    result = self._call(stripe, index, "read", addr)
+                    self._account_round("read")
+                    result = self._call(
+                        stripe, index, "read", addr, op_kind="read"
+                    )
             except NodeBusyError:
                 # Overloaded, not crashed: back off and retry — never
                 # remap, never recover.
@@ -431,8 +451,9 @@ class ProtocolClient:
                 config.hedge_delay_floor,
                 config.hedge_delay_multiplier,
             )
+        self._account_round("read")
         future = _pool_instance().submit(
-            self._call, stripe, index, "read", addr
+            self._call, stripe, index, "read", addr, op_kind="read"
         )
         try:
             return future.result(timeout=delay), None
@@ -490,8 +511,12 @@ class ProtocolClient:
         within the §3.1 regular-register guarantee.
         """
         def snap(j: int) -> StateSnapshot:
-            return self._call(stripe, j, "get_state", self._addr(stripe, j))
+            return self._call(
+                stripe, j, "get_state", self._addr(stripe, j),
+                op_kind="read_degraded",
+            )
 
+        self._account_round("read_degraded")
         data: dict[int, StateSnapshot] = {
             j: res
             for j, res in pfor(list(range(self.n)), snap).items()
@@ -605,8 +630,9 @@ class ProtocolClient:
             if attempt and not self._retry_permitted():
                 return None
             try:
+                self._account_round("write")
                 swap = self._call(stripe, index, "swap", addr, value, ntid,
-                                  trace_ctx=trace_ctx)
+                                  trace_ctx=trace_ctx, op_kind="write")
             except NodeBusyError:
                 self._sleep_backoff(attempt, deadline)
                 continue
@@ -730,7 +756,7 @@ class ProtocolClient:
             )
             return self._call(
                 stripe, j, "add", self._addr(stripe, j), payload, ntid, otid,
-                epoch, trace_ctx=ctx,
+                epoch, trace_ctx=ctx, op_kind="write",
             )
 
         ordered = sorted(targets)
@@ -739,6 +765,7 @@ class ProtocolClient:
             results: dict[int, AddResult | Exception] = {}
             for j in ordered:
                 try:
+                    self._account_round("write")
                     results[j] = one(j)
                 except (NodeUnavailableError, NodeBusyError,
                         StalePlacementError) as exc:
@@ -751,12 +778,14 @@ class ProtocolClient:
                            position=j)
             return results
         if strategy is WriteStrategy.PARALLEL:
+            self._account_round("write")
             return pfor(ordered, one)
         if strategy is WriteStrategy.HYBRID:
             size = max(1, self.config.hybrid_group_size)
             results = {}
             for start in range(0, len(ordered), size):
                 group = ordered[start : start + size]
+                self._account_round("write")
                 results.update(pfor(group, one))
             return results
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -783,6 +812,9 @@ class ProtocolClient:
             # receivers; each node's event distinguishes itself by its
             # ``node`` detail.
             extra["_trace"] = self._trace_ids.child(trace_parent).wire()
+        if self.metrics.enabled:
+            extra["_op"] = "write"
+        self._account_round("write")
         raw = self.transport.broadcast(
             self.client_id, list(by_node), "add", addr, diff, ntid, otid, epoch,
             **extra,
@@ -804,9 +836,11 @@ class ProtocolClient:
 
         def check(j: int) -> CheckTidStatus:
             return self._call(
-                stripe, j, "checktid", self._addr(stripe, j), ntid, otid
+                stripe, j, "checktid", self._addr(stripe, j), ntid, otid,
+                op_kind="write",
             )
 
+        self._account_round("write")
         results = pfor(sorted(done), check)
         statuses = {
             j: r for j, r in results.items() if isinstance(r, CheckTidStatus)
@@ -931,6 +965,7 @@ class ProtocolClient:
                 if attempt and not self._retry_permitted():
                     break  # budget spent; yield rather than hammer
                 try:
+                    self._account_round("recovery_phase1")
                     result = self._call(
                         stripe,
                         j,
@@ -938,6 +973,7 @@ class ProtocolClient:
                         self._addr(stripe, j),
                         LockMode.L1,
                         caller=self.client_id,
+                        op_kind="recovery_phase1",
                     )
                     break
                 except NodeBusyError:
@@ -949,7 +985,10 @@ class ProtocolClient:
             if result is None or not result.ok:
                 def release(item: tuple[int, LockMode]) -> None:
                     pos, old = item
-                    self._setlock_robust(stripe, pos, old)
+                    self._setlock_robust(
+                        stripe, pos, old, op_kind="recovery_phase1"
+                    )
+                self._account_round("recovery_phase1")
                 pfor(acquired, release)
                 return False
             acquired.append((j, result.oldlmode))
@@ -957,7 +996,13 @@ class ProtocolClient:
                 cp.hit("recovery.phase1.after_lock", stripe=stripe, position=j)
         return True
 
-    def _setlock_robust(self, stripe: int, pos: int, lm: LockMode) -> None:
+    def _setlock_robust(
+        self,
+        stripe: int,
+        pos: int,
+        lm: LockMode,
+        op_kind: str | None = None,
+    ) -> None:
         """Idempotent setlock that retries through timeouts.  A dropped
         release would leak a lock the same client can never reclaim,
         wedging the stripe for every future recovery; an unavailable
@@ -968,7 +1013,7 @@ class ProtocolClient:
             try:
                 self._call(
                     stripe, pos, "setlock", self._addr(stripe, pos), lm,
-                    caller=self.client_id,
+                    caller=self.client_id, op_kind=op_kind,
                 )
                 return
             except NodeBusyError:
@@ -984,11 +1029,15 @@ class ProtocolClient:
                 if attempt and not self._retry_permitted():
                     break
                 try:
-                    return self._call(stripe, j, "get_state", self._addr(stripe, j))
+                    return self._call(
+                        stripe, j, "get_state", self._addr(stripe, j),
+                        op_kind="recovery_phase2",
+                    )
                 except (NodeUnavailableError, NodeBusyError):
                     continue
             raise NodeUnavailableError(f"slot for stripe {stripe} pos {j}")
 
+        self._account_round("recovery_phase2")
         results = pfor(indices, fetch)
         out: dict[int, StateSnapshot] = {}
         for j, res in results.items():
@@ -1028,7 +1077,10 @@ class ProtocolClient:
         while len(cset) < target:
             # Weaken locks on redundant nodes so outstanding WRITEs can
             # finish their adds and blocks become consistent.
-            self._set_locks(stripe, range(self.k, self.n), LockMode.L0)
+            self._set_locks(
+                stripe, range(self.k, self.n), LockMode.L0,
+                op_kind="recovery_phase2",
+            )
             if cp.enabled:
                 cp.hit("recovery.phase2.after_weaken", stripe=stripe)
             while len(cset) < target:
@@ -1055,6 +1107,7 @@ class ProtocolClient:
             recent = {}
             for j in range(self.k, self.n):
                 try:
+                    self._account_round("recovery_phase2")
                     recent[j] = self._call(
                         stripe,
                         j,
@@ -1062,6 +1115,7 @@ class ProtocolClient:
                         self._addr(stripe, j),
                         LockMode.L1,
                         caller=self.client_id,
+                        op_kind="recovery_phase2",
                     )
                 except (NodeUnavailableError, NodeBusyError):
                     recent[j] = None
@@ -1098,11 +1152,13 @@ class ProtocolClient:
                         self._addr(stripe, j),
                         cset,
                         blocks[j],
+                        op_kind="recovery_phase3",
                     )
                 except (NodeUnavailableError, NodeBusyError):
                     continue
             raise NodeUnavailableError(f"slot for stripe {stripe} pos {j}")
 
+        self._account_round("recovery_phase3")
         epochs = pfor(list(range(self.n)), write_back)
         if self.metrics.enabled:
             self.metrics.counter("recovery_reconstruct_bytes_total").inc(
@@ -1123,23 +1179,30 @@ class ProtocolClient:
             for _ in range(self.config.max_op_attempts):
                 try:
                     self._call(
-                        stripe, j, "finalize", self._addr(stripe, j), new_epoch
+                        stripe, j, "finalize", self._addr(stripe, j), new_epoch,
+                        op_kind="recovery_phase3",
                     )
                     return
                 except (NodeUnavailableError, NodeBusyError):
                     continue
             raise NodeUnavailableError(f"slot for stripe {stripe} pos {j}")
 
+        self._account_round("recovery_phase3")
         results = pfor(list(range(self.n)), finish)
         errors = [r for r in results.values() if isinstance(r, Exception)]
         if errors:
             raise errors[0]
 
-    def _set_locks(self, stripe: int, indices, lm: LockMode) -> None:
+    def _set_locks(
+        self, stripe: int, indices, lm: LockMode, op_kind: str | None = None
+    ) -> None:
         def one(j: int) -> None:
-            self._setlock_robust(stripe, j, lm)
+            self._setlock_robust(stripe, j, lm, op_kind=op_kind)
 
+        self._account_round(op_kind)
         pfor(list(indices), one)
 
     def _unlock_all(self, stripe: int) -> None:
-        self._set_locks(stripe, range(self.n), LockMode.UNL)
+        self._set_locks(
+            stripe, range(self.n), LockMode.UNL, op_kind="recovery_abort"
+        )

@@ -77,8 +77,9 @@ class Rebuilder:
         for j in range(self.client.n):
             addr = self.client._addr(stripe, j)
             try:
+                self.client._account_round("rebuild")
                 opmode, lmode, _age, _epoch = self.client._call(
-                    stripe, j, "probe", addr
+                    stripe, j, "probe", addr, op_kind="rebuild"
                 )
             except NodeBusyError:
                 return False  # overloaded, not damaged; skip this pass
@@ -90,8 +91,10 @@ class Rebuilder:
             data: dict[int, StateSnapshot] = {}
             for j in range(self.client.n):
                 try:
+                    self.client._account_round("rebuild")
                     data[j] = self.client._call(
-                        stripe, j, "get_state", self.client._addr(stripe, j)
+                        stripe, j, "get_state", self.client._addr(stripe, j),
+                        op_kind="rebuild",
                     )
                 except NodeBusyError:
                     return False  # overloaded, not damaged

@@ -59,7 +59,10 @@ class Scrubber:
         for j in range(self.client.n):
             addr = self.client._addr(stripe, j)
             try:
-                snap = self.client._call(stripe, j, "get_state", addr)
+                self.client._account_round("scrub")
+                snap = self.client._call(
+                    stripe, j, "get_state", addr, op_kind="scrub"
+                )
             except (NodeUnavailableError, NodeBusyError):
                 return None, None
             if snap.opmode is not OpMode.NORM or snap.block is None:

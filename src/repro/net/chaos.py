@@ -40,7 +40,21 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.errors import NodeBusyError, NodeUnavailableError, RpcTimeoutError
-from repro.net.transport import FailureListener, RpcHandler, Transport
+from repro.net.message import estimate_size
+from repro.net.transport import (
+    UNATTRIBUTED_KIND,
+    FailureListener,
+    RpcHandler,
+    Transport,
+)
+
+
+def _payload_size(args: tuple, kwargs: dict) -> int:
+    """Request payload bytes as the inner transport would size them —
+    the ``_op`` attribution tag excluded (it never hits the wire)."""
+    if "_op" in kwargs:
+        kwargs = {k: v for k, v in kwargs.items() if k != "_op"}
+    return estimate_size(args) + estimate_size(kwargs)
 
 
 def _unit(*parts: object) -> float:
@@ -113,6 +127,12 @@ class FaultEvent:
     dst: str
     op: str
     count: int  # link op count of the affected message
+    #: Request payload bytes of the affected message (the ``_op``
+    #: attribution tag excluded), so wire-byte counters can reconcile
+    #: exactly against the ledger.  Deliberately excluded from
+    #: :meth:`key` — ledger digests predate this field and must not
+    #: shift under payload-size changes.
+    bytes: int = 0
 
     def key(self) -> tuple[str, str, str, str, int]:
         return (self.kind, self.src, self.dst, self.op, self.count)
@@ -247,14 +267,44 @@ class ChaosTransport(Transport):
         with self._chaos_lock:
             return tuple(sorted(event.key() for event in self.ledger))
 
-    def _record(self, kind: str, src: str, dst: str, op: str, count: int) -> None:
+    def _record(
+        self, kind: str, src: str, dst: str, op: str, count: int, size: int = 0
+    ) -> None:
         with self._chaos_lock:
-            self.ledger.append(FaultEvent(kind, src, dst, op, count))
+            self.ledger.append(FaultEvent(kind, src, dst, op, count, size))
         # Mirror the ledger into the registry 1:1 so a metrics snapshot
         # reconciles exactly against ledger_counts() after a soak.
         metrics = self.metrics
         if metrics.enabled:
             metrics.counter("chaos_faults_total", kind=kind).inc()
+
+    def _account_undelivered(
+        self, cause: str, op: str, size: int, kind: str | None
+    ) -> None:
+        """Wire counters for a request this wrapper swallowed (drop /
+        gray stall): the inner transport never sees it, so the bytes
+        the caller *sent into the void* must be counted here for the
+        cost auditor to explain."""
+        metrics = self.metrics
+        if metrics.enabled:
+            k = kind or UNATTRIBUTED_KIND
+            metrics.counter(
+                "rpc_dropped_messages_total", kind=k, op=op, cause=cause
+            ).inc()
+            metrics.counter("rpc_dropped_bytes_total", kind=k).inc(size)
+
+    def _account_duplicate(self, op: str, size: int, kind: str | None) -> None:
+        """Wire counters for a second (replayed) delivery.  The inner
+        transport counts the replay like any delivered message; these
+        counters let the auditor subtract exactly what duplication
+        added."""
+        metrics = self.metrics
+        if metrics.enabled:
+            k = kind or UNATTRIBUTED_KIND
+            metrics.counter(
+                "rpc_duplicate_messages_total", kind=k, op=op
+            ).inc()
+            metrics.counter("rpc_duplicate_bytes_total", kind=k).inc(size)
 
     def _count_surfaced_timeout(self, op: str) -> None:
         """Count a timeout this wrapper raises *instead of* delivering
@@ -355,10 +405,13 @@ class ChaosTransport(Transport):
             return self.inner.call(src, dst, op, *args, timeout=timeout, **kwargs)
 
         budget = timeout
+        size = _payload_size(args, kwargs)
+        op_kind = kwargs.get("_op")
         if decision.drop:
             # The request vanishes: the caller learns nothing until its
             # deadline (or the plan's blackhole interval) elapses.
-            self._record("drop", src, dst, op, count)
+            self._record("drop", src, dst, op, count, size)
+            self._account_undelivered("drop", op, size, op_kind)
             wait = budget if budget is not None else self.plan.blackhole
             time.sleep(wait)
             self._count_surfaced_timeout(op)
@@ -370,11 +423,12 @@ class ChaosTransport(Transport):
                 # The request is *not* applied (it is queued behind the
                 # stall), keeping timed-out-vs-applied distinct from the
                 # late-delivery case below.
-                self._record("stall_timeout", src, dst, op, count)
+                self._record("stall_timeout", src, dst, op, count, size)
+                self._account_undelivered("stall_timeout", op, size, op_kind)
                 time.sleep(budget)
                 self._count_surfaced_timeout(op)
                 raise RpcTimeoutError(dst, op, timeout)
-            self._record("stall", src, dst, op, count)
+            self._record("stall", src, dst, op, count, size)
             time.sleep(decision.stall)
             if budget is not None:
                 budget -= decision.stall
@@ -389,10 +443,10 @@ class ChaosTransport(Transport):
                     self.inner.call(src, dst, op, *args, **kwargs)
                 except (NodeUnavailableError, NodeBusyError):
                     pass
-                self._record("late_delivery", src, dst, op, count)
+                self._record("late_delivery", src, dst, op, count, size)
                 self._count_surfaced_timeout(op)
                 raise RpcTimeoutError(dst, op, timeout)
-            self._record("delay", src, dst, op, count)
+            self._record("delay", src, dst, op, count, size)
             time.sleep(decision.delay)
             if budget is not None:
                 budget -= decision.delay
@@ -402,7 +456,8 @@ class ChaosTransport(Transport):
             # Second delivery of the same request (a retrying network);
             # its response is discarded, so only server-side effects
             # matter — nodes must recognise the replay.
-            self._record("duplicate", src, dst, op, count)
+            self._record("duplicate", src, dst, op, count, size)
+            self._account_duplicate(op, size, op_kind)
             try:
                 self.inner.call(src, dst, op, *args, timeout=budget, **kwargs)
             except (NodeUnavailableError, NodeBusyError):

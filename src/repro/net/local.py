@@ -73,8 +73,12 @@ class LocalTransport(Transport):
     ) -> object:
         self._check_reachable(src, dst)
         handler = self._handler_for(dst)
+        # Attribution tag rides as a kwarg so it crosses pfor/pool
+        # threads with the call; popped before sizing so payload bytes
+        # (and the modeled delay) are identical with accounting on/off.
+        kind = kwargs.pop("_op", None)
         request_size = estimate_size(args) + estimate_size(kwargs)
-        self.stats.record_request(op, request_size)
+        self._record_request(op, request_size, kind)
         # Deadline enforcement covers the modeled network (the sleeps);
         # handler execution is local CPU and not interruptible here.
         budget = timeout
@@ -100,7 +104,7 @@ class LocalTransport(Transport):
             if admission is not None:
                 admission.release(dst)
         response_size = estimate_size(result)
-        self.stats.record_response(op, response_size)
+        self._record_response(op, response_size, kind)
         delay = self.delay.one_way(response_size)
         if budget is not None and delay > budget:
             self._sleep(budget)
@@ -125,10 +129,11 @@ class LocalTransport(Transport):
         charges client bandwidth in Fig. 1 (write bandwidth 3B for
         AJX-bcast).  Responses are individual unicasts.
         """
+        kind = kwargs.pop("_op", None)
         request_size = estimate_size(args) + estimate_size(kwargs)
         # One multicast frame on the wire, counted once (Fig. 1 counts
         # an AJX-bcast write as p+3 messages: 2 swap + 1 bcast + p acks).
-        self.stats.record_request(op, request_size)
+        self._record_request(op, request_size, kind)
         metrics = self.metrics
         if metrics.enabled:
             metrics.counter("rpc_broadcasts_total", op=op).inc()
@@ -155,7 +160,7 @@ class LocalTransport(Transport):
                     ).inc()
                 continue
             results[dst] = result
-            self.stats.record_response(op, estimate_size(result))
+            self._record_response(op, estimate_size(result), kind)
             if metrics.enabled:
                 metrics.counter("rpc_calls_total", op=op, result="ok").inc()
         self._sleep(self.delay.latency)

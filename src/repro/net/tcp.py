@@ -215,8 +215,11 @@ class TcpTransport(Transport):
         **kwargs: object,
     ) -> object:
         self._check_reachable(src, dst)
+        # Pop the attribution tag before pickling: the wire frame must
+        # be byte-identical whether or not wire accounting is on.
+        kind = kwargs.pop("_op", None)
         request = pickle.dumps((op, args, kwargs))
-        self.stats.record_request(op, estimate_size(args) + estimate_size(kwargs))
+        self._record_request(op, estimate_size(args) + estimate_size(kwargs), kind)
         conn, lock = self._connection(src, dst)
         try:
             with lock:
@@ -245,7 +248,7 @@ class TcpTransport(Transport):
             self._check_reachable(src, dst)
             raise NodeUnavailableError(dst, f"connection failed: {exc}") from exc
         status, result = pickle.loads(payload)
-        self.stats.record_response(op, estimate_size(result))
+        self._record_response(op, estimate_size(result), kind)
         if status == "err":
             raise result
         return result

@@ -34,6 +34,10 @@ from repro.obs.metrics import NULL_REGISTRY
 #: Callback invoked with the id of a node that just crashed.
 FailureListener = Callable[[str], None]
 
+#: Attribution label for wire traffic whose caller did not stamp an
+#: op-kind tag (raw NodeProxy users, tests poking the transport).
+UNATTRIBUTED_KIND = "other"
+
 
 def classify_outcome(exc: BaseException) -> str:
     """Metric ``result`` label for a failed RPC (order matters: the
@@ -162,6 +166,33 @@ class Transport(ABC):
         if handler is None:
             raise UnknownNodeError(dst)
         return handler
+
+    # -- wire accounting ------------------------------------------------------
+
+    def _record_request(self, op: str, size: int, kind: str | None = None) -> None:
+        """Count one request message leaving the caller.
+
+        ``kind`` is the logical operation that caused the RPC (write,
+        read, recovery_phase1, gc, ...), piggybacked by clients as an
+        ``_op`` kwarg and popped by concrete transports *before* the
+        payload is sized/encoded — so byte accounting and wire frames
+        are identical whether or not attribution is on.
+        """
+        self.stats.record_request(op, size)
+        metrics = self.metrics
+        if metrics.enabled:
+            k = kind or UNATTRIBUTED_KIND
+            metrics.counter("rpc_messages_total", kind=k, op=op, dir="request").inc()
+            metrics.counter("rpc_bytes_sent_total", kind=k).inc(size)
+
+    def _record_response(self, op: str, size: int, kind: str | None = None) -> None:
+        """Count one response message arriving back at the caller."""
+        self.stats.record_response(op, size)
+        metrics = self.metrics
+        if metrics.enabled:
+            k = kind or UNATTRIBUTED_KIND
+            metrics.counter("rpc_messages_total", kind=k, op=op, dir="response").inc()
+            metrics.counter("rpc_bytes_received_total", kind=k).inc(size)
 
     # -- messaging ------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.obs.export import (
     load_snapshot,
     parse_exposition,
+    parse_sample_line,
     snapshot_to_json,
     to_prometheus,
 )
@@ -35,10 +36,12 @@ from repro.obs.metrics import (
 )
 from repro.obs.recorder import FlightRecorder, flight_events, load_flight
 from repro.obs.trace import (
+    CriticalPath,
     Span,
     TraceContext,
     TraceIdAllocator,
     build_span_tree,
+    critical_path,
     render_span_tree,
     trace_ids,
 )
@@ -46,6 +49,7 @@ from repro.tracing import Tracer
 
 __all__ = [
     "Counter",
+    "CriticalPath",
     "FlightRecorder",
     "Gauge",
     "Histogram",
@@ -57,10 +61,12 @@ __all__ = [
     "TraceContext",
     "TraceIdAllocator",
     "build_span_tree",
+    "critical_path",
     "flight_events",
     "load_flight",
     "load_snapshot",
     "parse_exposition",
+    "parse_sample_line",
     "render_span_tree",
     "snapshot_to_json",
     "to_prometheus",

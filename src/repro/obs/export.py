@@ -4,15 +4,63 @@ Both formats render the same :meth:`MetricsRegistry.snapshot` data, so
 a snapshot written to disk (by the flight recorder, a soak, or
 ``repro metrics --out``) can later be re-rendered as exposition text —
 which is also how CI checks that a captured snapshot is well-formed.
+
+The exposition round-trip is **lossless**: label values are escaped on
+render (``\\``, ``"``, newline) and unescaped on parse, non-finite
+values render as Prometheus' ``NaN`` / ``+Inf`` / ``-Inf`` tokens, and
+finite floats use shortest-round-trip formatting — so
+``parse_exposition(to_prometheus(snapshot))`` recovers every sample's
+series identity and exact value.
 """
 
 from __future__ import annotations
 
 import json
+import math
 
 
 def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape(value: str) -> str:
+    """Reverse of :func:`_escape`.  Unknown escape pairs pass through
+    verbatim (the exposition format reserves only these three)."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+                i += 2
+                continue
+            if nxt == '"':
+                out.append('"')
+                i += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _format_value(value: float | int) -> str:
+    """Prometheus sample-value text: ``NaN``/``+Inf``/``-Inf`` for the
+    non-finite cases, integers without a fraction, shortest
+    round-trip ``repr`` otherwise (``float(_format_value(v)) == v``)."""
+    f = float(value)
+    if math.isnan(f):
+        return "NaN"
+    if math.isinf(f):
+        return "+Inf" if f > 0 else "-Inf"
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
 
 
 def _labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
@@ -43,11 +91,16 @@ def to_prometheus(snapshot: dict) -> str:
 
     for row in snapshot.get("counters", []):
         declare(row["name"], "counter")
-        lines.append(f"{row['name']}{_labels(row['labels'])} {row['value']}")
+        lines.append(
+            f"{row['name']}{_labels(row['labels'])} "
+            f"{_format_value(row['value'])}"
+        )
     for row in snapshot.get("gauges", []):
         declare(row["name"], "gauge")
-        value = row["value"]
-        lines.append(f"{row['name']}{_labels(row['labels'])} {value:g}")
+        lines.append(
+            f"{row['name']}{_labels(row['labels'])} "
+            f"{_format_value(row['value'])}"
+        )
     for row in snapshot.get("histograms", []):
         name = row["name"]
         declare(name, "summary")
@@ -56,29 +109,90 @@ def to_prometheus(snapshot: dict) -> str:
             if value is None:
                 continue
             lines.append(
-                f"{name}{_labels(row['labels'], {'quantile': q})} {value:g}"
+                f"{name}{_labels(row['labels'], {'quantile': q})} "
+                f"{_format_value(value)}"
             )
-        lines.append(f"{name}_count{_labels(row['labels'])} {row['count']}")
-        lines.append(f"{name}_sum{_labels(row['labels'])} {row['sum']:g}")
+        lines.append(
+            f"{name}_count{_labels(row['labels'])} "
+            f"{_format_value(row['count'])}"
+        )
+        lines.append(
+            f"{name}_sum{_labels(row['labels'])} {_format_value(row['sum'])}"
+        )
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def parse_exposition(text: str) -> dict[str, float]:
-    """Minimal exposition parser: ``{series-with-labels: value}``.
+def parse_sample_line(line: str) -> tuple[str, dict[str, str], float]:
+    """Parse one exposition sample into ``(name, labels, value)``.
 
-    Exists so tests and CI can assert a rendered exposition round-trips
-    (every sample line splits into a series name and a float value).
-    Raises ``ValueError`` on a malformed sample line.
+    Label values are unescaped; the value text accepts Prometheus'
+    ``NaN``/``+Inf``/``-Inf`` tokens (Python's ``float`` does natively).
+    Raises ``ValueError`` on malformed input: unterminated label
+    strings, junk after the value, whitespace inside a metric name.
+    """
+    line = line.strip()
+    brace = line.find("{")
+    labels: dict[str, str] = {}
+    if brace == -1:
+        name, _, value_text = line.rpartition(" ")
+        name = name.strip()
+    else:
+        name = line[:brace]
+        i = brace + 1
+        while True:
+            if i >= len(line):
+                raise ValueError(f"unterminated label set: {line!r}")
+            if line[i] == "}":
+                i += 1
+                break
+            if line[i] == ",":
+                i += 1
+                continue
+            eq = line.find('="', i)
+            if eq == -1:
+                raise ValueError(f"malformed label pair: {line!r}")
+            key = line[i:eq]
+            i = eq + 2
+            buf: list[str] = []
+            while i < len(line) and line[i] != '"':
+                if line[i] == "\\":
+                    if i + 1 >= len(line):
+                        raise ValueError(f"dangling escape: {line!r}")
+                    buf.append(line[i : i + 2])
+                    i += 2
+                else:
+                    buf.append(line[i])
+                    i += 1
+            if i >= len(line):
+                raise ValueError(f"unterminated label value: {line!r}")
+            labels[key] = _unescape("".join(buf))
+            i += 1  # past the closing quote
+        value_text = line[i:].strip()
+    if not name or " " in name or "\t" in name:
+        raise ValueError(f"malformed sample line: {line!r}")
+    try:
+        value = float(value_text)
+    except ValueError:
+        raise ValueError(f"malformed sample value in: {line!r}") from None
+    return name, labels, value
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """Exposition parser: ``{canonical-series: value}``.
+
+    The canonical series key is the metric name plus its sorted,
+    re-escaped label set — identical to what :func:`to_prometheus`
+    renders, so ``parse_exposition(to_prometheus(s))`` keys match the
+    rendered sample lines exactly.  Raises ``ValueError`` on a
+    malformed sample line.
     """
     series: dict[str, float] = {}
     for line in text.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        name, _, value = line.rpartition(" ")
-        if not name:
-            raise ValueError(f"malformed sample line: {line!r}")
-        series[name] = float(value)
+        name, labels, value = parse_sample_line(line)
+        series[f"{name}{_labels(labels)}"] = value
     return series
 
 

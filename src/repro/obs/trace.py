@@ -160,6 +160,90 @@ def build_span_tree(events: list[TraceEvent], trace_id: str) -> Span | None:
     return synthetic
 
 
+@dataclass(frozen=True)
+class CriticalPath:
+    """The longest root-to-leaf chain of a span tree, by finish time.
+
+    Answers "which leg of the write dominated": for a parallel-add
+    write the path runs root → swap → the *slowest* add.  Durations are
+    relative to the root span's first event, so they compose with the
+    deterministic soak clocks as well as wall time.
+    """
+
+    spans: tuple[Span, ...]
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def dominant(self) -> Span:
+        """The leaf that set the operation's latency."""
+        return self.spans[-1]
+
+    def describe(self) -> str:
+        """One line per hop: span id, kind, and finish offset."""
+        lines = []
+        for span in self.spans:
+            finish = _span_finish(span)
+            node = next(
+                (e.detail.get("node") for e in span.events
+                 if e.detail.get("node") is not None),
+                None,
+            )
+            where = f" node={node}" if node else ""
+            lines.append(
+                f"{span.span_id} [{span.kind}]{where} "
+                f"+{max(0.0, finish - self.start) * 1000:.3f}ms"
+            )
+        return "\n".join(lines)
+
+
+def _span_start(span: Span) -> float:
+    return min((e.timestamp for e in span.events), default=0.0)
+
+
+def _span_finish(span: Span) -> float:
+    """A span's finish time: its latest own event.  Node spans are
+    single point events, so start == finish; client root spans pair
+    begin/end events."""
+    return max((e.timestamp for e in span.events), default=0.0)
+
+
+def critical_path(root: Span) -> CriticalPath:
+    """Annotate ``root`` with its longest path: the chain from the root
+    to the descendant whose subtree finishes last.
+
+    Ties break on span id so the path is deterministic for the seeded
+    soak traces (equal timestamps are common under simulated clocks).
+    """
+
+    def subtree_finish(span: Span) -> float:
+        return max(
+            [_span_finish(span)] + [subtree_finish(c) for c in span.children]
+        )
+
+    chain: list[Span] = [root]
+    current = root
+    while current.children:
+        # Always descend: a parent's own end event necessarily closes
+        # after its children (the client waits for the fan-out), so the
+        # question "which leg dominated" is answered by the child whose
+        # subtree finished last, all the way to a leaf.
+        slowest = max(
+            current.children, key=lambda s: (subtree_finish(s), s.span_id)
+        )
+        chain.append(slowest)
+        current = slowest
+    return CriticalPath(
+        spans=tuple(chain),
+        start=_span_start(root),
+        finish=subtree_finish(root),
+    )
+
+
 def render_span_tree(span: Span, indent: str = "") -> str:
     """Human-readable tree, one line per span::
 

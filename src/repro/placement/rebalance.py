@@ -163,7 +163,15 @@ class Rebalancer:
                 timeout=self.rpc_timeout,
             )
             try:
-                result = proxy.call(op, *args)
+                if self.metrics.enabled:
+                    # Migration RPCs are serial: one round each.  The
+                    # tag rides like _trace and is popped pre-encoding.
+                    self.metrics.counter(
+                        "rpc_rounds_total", kind="rebalance"
+                    ).inc()
+                    result = proxy.call(op, *args, _op="rebalance")
+                else:
+                    result = proxy.call(op, *args)
             except NodeBusyError as exc:
                 last = exc
                 time.sleep(self._backoff.next_delay(attempt))

@@ -159,6 +159,10 @@ class StorageNode(RpcHandler):
         # unconditionally, checked only when present (placement-mode
         # clients stamp it; the rebalancer and legacy clusters do not).
         gen = kwargs.pop("_gen", None)
+        # The wire-accounting op-kind tag is popped by the transports
+        # before delivery; pop defensively too so a handler invoked
+        # directly (tests, future transports) never sees it.
+        kwargs.pop("_op", None)
         if op not in self.OPERATIONS:
             raise UnknownOperationError(f"{self.node_id}: no operation {op!r}")
         if self.metrics.enabled:

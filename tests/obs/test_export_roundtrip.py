@@ -1,0 +1,170 @@
+"""Prometheus exposition round-trip and snapshot determinism.
+
+The cost auditor and CI reconciliation scripts re-parse what
+``to_prometheus`` rendered, so the exposition must be lossless: label
+values containing quotes, backslashes, and newlines must survive a
+render → parse cycle, non-finite values must use the Prometheus
+tokens, and a seeded multi-threaded run must snapshot identically
+every time.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_exposition,
+    parse_sample_line,
+    snapshot_to_json,
+    to_prometheus,
+)
+
+
+class TestLabelEscaping:
+    NASTY = [
+        'plain',
+        'has "quotes"',
+        "back\\slash",
+        "new\nline",
+        'all \\ of "them"\ntogether',
+        "",
+    ]
+
+    def test_nasty_label_values_round_trip(self):
+        reg = MetricsRegistry()
+        for i, value in enumerate(self.NASTY):
+            reg.counter("escaped_total", src=value).inc(i + 1)
+        series = parse_exposition(to_prometheus(reg.snapshot()))
+        # Every series must be recoverable and distinct.
+        assert len([k for k in series if k.startswith("escaped_total")]) == (
+            len(self.NASTY)
+        )
+        for i, value in enumerate(self.NASTY):
+            line_value = None
+            for key, v in series.items():
+                name, labels, _ = parse_sample_line(f"{key} {v}")
+                if name == "escaped_total" and labels.get("src") == value:
+                    line_value = v
+            assert line_value == i + 1, f"lost series for {value!r}"
+
+    def test_parse_sample_line_unescapes(self):
+        name, labels, value = parse_sample_line(
+            'x_total{msg="a\\"b\\\\c\\nd"} 3'
+        )
+        assert name == "x_total"
+        assert labels == {"msg": 'a"b\\c\nd'}
+        assert value == 3.0
+
+    def test_exposition_is_single_logical_lines(self):
+        """A newline inside a label value must be escaped, never split
+        the sample across physical lines."""
+        reg = MetricsRegistry()
+        reg.counter("split_total", err="line1\nline2").inc()
+        text = to_prometheus(reg.snapshot())
+        sample_lines = [
+            l for l in text.splitlines() if l and not l.startswith("#")
+        ]
+        assert any(r"line1\nline2" in l for l in sample_lines)
+        assert all("split_total" in l or "line" not in l for l in sample_lines)
+
+
+class TestNonFiniteValues:
+    def test_nan_and_infinities_render_and_parse(self):
+        reg = MetricsRegistry()
+        reg.gauge("g_nan").set(float("nan"))
+        reg.gauge("g_pinf").set(float("inf"))
+        reg.gauge("g_ninf").set(float("-inf"))
+        text = to_prometheus(reg.snapshot())
+        assert "g_nan NaN" in text
+        assert "g_pinf +Inf" in text
+        assert "g_ninf -Inf" in text
+        series = parse_exposition(text)
+        assert math.isnan(series["g_nan"])
+        assert series["g_pinf"] == float("inf")
+        assert series["g_ninf"] == float("-inf")
+
+    def test_integral_floats_render_without_exponent(self):
+        reg = MetricsRegistry()
+        reg.counter("big_total").inc(10**12)
+        text = to_prometheus(reg.snapshot())
+        assert "big_total 1000000000000" in text
+        assert parse_exposition(text)["big_total"] == 10**12
+
+    def test_fractional_values_round_trip_exactly(self):
+        reg = MetricsRegistry()
+        reg.gauge("ratio").set(0.1)
+        series = parse_exposition(to_prometheus(reg.snapshot()))
+        assert series["ratio"] == 0.1  # repr() round-trips floats
+
+
+class TestLosslessRoundTrip:
+    def test_full_registry_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("rpc_messages_total", kind="write", dir="request").inc(12)
+        reg.counter("rpc_messages_total", kind="write", dir="response").inc(12)
+        reg.counter("rpc_bytes_sent_total", kind="write").inc(4096)
+        reg.gauge("nodes_live").set(5)
+        h = reg.histogram("op_seconds", op="swap")
+        for v in (0.25, 0.5, 0.75):
+            h.observe(v)
+        snap = reg.snapshot()
+        series = parse_exposition(to_prometheus(snap))
+        assert series['rpc_messages_total{dir="request",kind="write"}'] == 12
+        assert series['rpc_bytes_sent_total{kind="write"}'] == 4096
+        assert series["nodes_live"] == 5
+        assert series['op_seconds_count{op="swap"}'] == 3
+        assert series['op_seconds_sum{op="swap"}'] == 1.5
+
+    def test_parse_rejects_malformed_lines(self):
+        for bad in (
+            'x_total{unterminated="v 1',
+            "two words 1",
+            "x_total notanumber",
+        ):
+            with pytest.raises(ValueError):
+                parse_sample_line(bad)
+
+
+class TestSnapshotDeterminism:
+    def test_threaded_histogram_snapshots_identically(self):
+        """Same seeded observations from racing threads → byte-identical
+        snapshot JSON, run after run.  Values are dyadic rationals so
+        the float sum is order-independent, and the total stays within
+        the reservoir so no thread interleaving can evict samples."""
+
+        def run() -> str:
+            reg = MetricsRegistry(histogram_capacity=2048)
+            threads = 8
+            per_thread = 200
+            barrier = threading.Barrier(threads)
+
+            def worker(tid: int) -> None:
+                barrier.wait()
+                for i in range(per_thread):
+                    value = (tid * per_thread + i) / 1024.0
+                    reg.histogram("lat_seconds", op="swap").observe(value)
+                    reg.counter("ops_total", thread=str(tid)).inc()
+
+            ts = [
+                threading.Thread(target=worker, args=(t,))
+                for t in range(threads)
+            ]
+            for t in ts:
+                t.start()
+            for t in ts:
+                t.join()
+            return snapshot_to_json(reg.snapshot())
+
+        first = run()
+        for _ in range(3):
+            assert run() == first
+        snap = json.loads(first)
+        hist = snap["histograms"][0]
+        assert hist["count"] == 8 * 200
+        assert hist["min"] == 0.0
+        assert hist["max"] == (8 * 200 - 1) / 1024.0

@@ -146,3 +146,36 @@ class TestAgentSourceTagging:
         sources = {e.source for e in obs.tracer.events()}
         assert "gc:c1" in sources
         assert "monitor:c1" in sources
+
+
+class TestCriticalPath:
+    def test_write_critical_path_descends_to_a_leaf(self):
+        """The dominant leg of a write is never the root itself: the
+        chain must run root -> swap -> the slowest add, because the
+        client's own end event always closes after the fan-out."""
+        from repro.obs import critical_path
+
+        obs, _cluster, volume = make_observed_cluster()
+        volume.write_block(0, b"critical path")
+        root = build_span_tree(obs.tracer.drain(), "c1:w1")
+        path = critical_path(root)
+        assert path.spans[0] is root
+        assert len(path.spans) >= 2
+        assert not path.dominant.children  # descended all the way down
+        leg_kinds = {e.kind for e in path.dominant.events}
+        assert "node.add" in leg_kinds or "node.swap" in leg_kinds
+        assert path.duration >= 0
+        text = path.describe()
+        assert "write.begin" in text.splitlines()[0]
+
+    def test_tie_break_is_deterministic(self):
+        from repro.obs import critical_path
+
+        obs, _cluster, volume = make_observed_cluster()
+        volume.write_block(0, b"tie break")
+        events = obs.tracer.drain()
+        first = critical_path(build_span_tree(events, "c1:w1"))
+        second = critical_path(build_span_tree(events, "c1:w1"))
+        assert [s.span_id for s in first.spans] == [
+            s.span_id for s in second.spans
+        ]

@@ -157,3 +157,79 @@ class TestCli:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCostReport:
+    def test_fault_free_run_conforms_exactly(self, capsys):
+        assert main([
+            "cost-report", "--k", "2", "--n", "4", "--block-size", "64",
+            "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cost conformance [fault-free (exact)]: PASS" in out
+        assert "write" in out and "recovery_phase2" in out
+        # The span-tree annotator names the slowest write's chain.
+        assert "critical path of write" in out
+        assert "dominant leg:" in out
+
+    def test_json_payload_and_snapshot_out(self, tmp_path, capsys):
+        import json
+
+        snap = tmp_path / "cost-metrics.json"
+        assert main([
+            "cost-report", "--k", "2", "--n", "4", "--block-size", "64",
+            "--seed", "7", "--json", "--out", str(snap),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["mode"] == "fault_free"
+        assert payload["geometry"]["k"] == 2
+        assert any(v["kind"] == "write" for v in payload["verdicts"])
+        assert "critical_path" in payload
+        assert snap.exists()
+
+    def test_from_snapshot_bounded_and_exact_modes(self, tmp_path, capsys):
+        snap = tmp_path / "cost-metrics.json"
+        geometry = ["--k", "2", "--n", "4", "--block-size", "64"]
+        assert main([
+            "cost-report", *geometry, "--seed", "7", "--out", str(snap),
+        ]) == 0
+        capsys.readouterr()
+        # Default from-file mode is bounded; --exact re-demands Fig. 1.
+        assert main(["cost-report", *geometry, "--from", str(snap)]) == 0
+        assert "bounded (ledger)" in capsys.readouterr().out
+        assert main([
+            "cost-report", *geometry, "--from", str(snap), "--exact",
+        ]) == 0
+        assert "fault-free (exact)" in capsys.readouterr().out
+
+    def test_nonconformant_snapshot_exits_one(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import load_snapshot, snapshot_to_json
+
+        snap = tmp_path / "cost-metrics.json"
+        geometry = ["--k", "2", "--n", "4", "--block-size", "64"]
+        assert main([
+            "cost-report", *geometry, "--seed", "7", "--out", str(snap),
+        ]) == 0
+        capsys.readouterr()
+        doctored = load_snapshot(str(snap))
+        for row in doctored["counters"]:
+            if row["name"] == "rpc_messages_total" and (
+                row["labels"].get("kind") == "write"
+            ):
+                row["value"] += 5
+        snap.write_text(snapshot_to_json(doctored))
+        assert main([
+            "cost-report", *geometry, "--from", str(snap), "--exact",
+        ]) == 1
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_invalid_inputs_exit_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["cost-report", "--from", str(bad)]) == 2
+        assert "invalid metrics snapshot" in capsys.readouterr().err
+        assert main(["cost-report", "--k", "5", "--n", "3"]) == 2
+        assert "invalid cost-report parameters" in capsys.readouterr().err
