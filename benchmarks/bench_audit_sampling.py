@@ -1,0 +1,156 @@
+"""Sampling-audit economics: detection probability and wire cost.
+
+Two claims behind the :class:`~repro.client.scrub.SamplingAuditor`
+(DAS-style probabilistic auditing):
+
+1. the measured per-sweep detection rate tracks the hypergeometric
+   curve :func:`~repro.client.scrub.detection_probability` — modest
+   sample counts already give useful detection probability, and misses
+   are independent across sweeps, so persistent damage is caught
+   eventually with probability 1;
+2. a fingerprint sweep moves a small, block-size-independent number of
+   bytes — a full parity scrub hauls every block of every stripe over
+   the wire.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_record, print_table
+from repro.analysis.costmodel import sum_counters
+from repro.client.config import ClientConfig
+from repro.client.health import HealthRegistry
+from repro.client.protocol import ProtocolClient
+from repro.client.scrub import SamplingAuditor, Scrubber, detection_probability
+from repro.core.cluster import Cluster
+from repro.ids import BlockAddr
+from repro.obs import Observability
+
+K, N = 2, 4
+BLOCKS = 24  # -> 12 stripes x 4 positions = 48 (stripe, position) pairs
+STRIPES = BLOCKS // K
+PAIRS = STRIPES * N
+CORRUPT = [(3, 1), (8, 3)]  # one data position, one redundant position
+SWEEPS = 240
+TOLERANCE = 0.05  # acceptance band vs the analytic curve
+
+
+def _seeded_cluster() -> Cluster:
+    cluster = Cluster(k=K, n=N, block_size=64)
+    vol = cluster.client("seed")
+    for b in range(BLOCKS):
+        vol.write_block(b, bytes([b + 1]))
+    vol.collect_garbage()
+    vol.collect_garbage()
+    return cluster
+
+
+def _media_corrupt(cluster: Cluster, stripe: int, index: int) -> None:
+    slot = cluster.layout.node_of_stripe_index(stripe, index)
+    state = cluster.node_for_slot(slot).peek(BlockAddr("vol0", stripe, index))
+    state.block = state.block.copy()
+    state.block[0] ^= 0xFF
+
+
+def _fresh_client(cluster: Cluster, name: str) -> ProtocolClient:
+    """A client with its *own* health registry, so one sweep's
+    quarantine decisions never leak into the next trial."""
+    return ProtocolClient(
+        client_id=name,
+        transport=cluster.transport,
+        directory=cluster.directory,
+        volume=cluster.volume_name,
+        meta=cluster.meta,
+        config=ClientConfig(),
+        health=HealthRegistry(),
+    )
+
+
+def bench_detection_probability_tracks_analytic_curve():
+    cluster = _seeded_cluster()
+    for stripe, index in CORRUPT:
+        _media_corrupt(cluster, stripe, index)
+
+    rows = []
+    for samples in (4, 8, 16):
+        analytic = detection_probability(PAIRS, len(CORRUPT), samples)
+        detected = 0
+        for sweep in range(SWEEPS):
+            client = _fresh_client(cluster, f"audit-{samples}-{sweep}")
+            auditor = SamplingAuditor(
+                client,
+                seed=samples * 10_000 + sweep,
+                samples_per_sweep=samples,
+                repair=False,
+            )
+            report = auditor.sweep(range(STRIPES))
+            if report.hits:
+                detected += 1
+        measured = detected / SWEEPS
+        rows.append(
+            [samples, f"{analytic:.4f}", f"{measured:.4f}",
+             f"{abs(measured - analytic):.4f}"]
+        )
+        bench_record(
+            "audit_sampling",
+            samples=samples,
+            pairs=PAIRS,
+            corrupt=len(CORRUPT),
+            sweeps=SWEEPS,
+            analytic=round(analytic, 4),
+            measured=round(measured, 4),
+        )
+        assert abs(measured - analytic) <= TOLERANCE, (
+            f"samples={samples}: measured {measured:.4f} vs "
+            f"analytic {analytic:.4f} drifts past {TOLERANCE}"
+        )
+
+    print_table(
+        "Sampling-audit detection probability "
+        f"({PAIRS} pairs, {len(CORRUPT)} corrupt, {SWEEPS} seeded sweeps)",
+        ["samples", "analytic", "measured", "|delta|"],
+        rows,
+    )
+    # More samples must buy more detection, on both curves.
+    measured_curve = [float(r[2]) for r in rows]
+    assert measured_curve == sorted(measured_curve)
+
+
+def bench_audit_bytes_vs_full_scrub():
+    """One fingerprint sweep vs one full parity scrub, clean cluster."""
+    obs = Observability.create()
+    cluster = Cluster(k=K, n=N, block_size=64, observability=obs)
+    vol = cluster.client("seed")
+    for b in range(BLOCKS):
+        vol.write_block(b, bytes([b + 1]))
+    vol.collect_garbage()
+    vol.collect_garbage()
+
+    client = cluster.protocol_client("meter")
+    SamplingAuditor(client, seed=1, samples_per_sweep=8).sweep(range(STRIPES))
+    Scrubber(client, repair=False).scrub(range(STRIPES))
+
+    snapshot = obs.registry.snapshot()
+
+    def wire_bytes(kind: str) -> int:
+        return int(
+            sum_counters(snapshot, "rpc_bytes_sent_total", kind=kind)
+            + sum_counters(snapshot, "rpc_bytes_received_total", kind=kind)
+        )
+
+    audit_bytes = wire_bytes("audit")
+    scrub_bytes = wire_bytes("scrub")
+    print_table(
+        "Wire bytes: 8-probe fingerprint sweep vs full parity scrub",
+        ["pass", "bytes"],
+        [["audit (8 probes)", audit_bytes], ["scrub (full)", scrub_bytes]],
+    )
+    bench_record(
+        "audit_sampling_bytes",
+        audit_bytes=audit_bytes,
+        scrub_bytes=scrub_bytes,
+        ratio=round(audit_bytes / scrub_bytes, 4),
+    )
+    assert 0 < audit_bytes < scrub_bytes / 4, (
+        f"fingerprint probes ({audit_bytes}B) should be far cheaper than "
+        f"a full scrub ({scrub_bytes}B)"
+    )

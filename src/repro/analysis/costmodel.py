@@ -10,7 +10,7 @@ loop:
   expectations — writes decompose as 1 swap + p adds, recovery as its
   three per-phase fan-outs (2n / 2n / 4n messages on a fault-free
   stripe), GC as two-phase batches, and the sweep agents (monitor,
-  scrub, rebuild, rebalance) as strictly request/response-paired
+  scrub, rebuild, rebalance, audit) as strictly request/response-paired
   serial traffic.
 * :class:`CostAuditor` reconciles a metrics snapshot against those
   expectations.  In **fault-free** mode message and round counts must
@@ -38,7 +38,7 @@ RECOVERY_KINDS = ("recovery_phase1", "recovery_phase2", "recovery_phase3")
 #: Kinds whose RPCs are issued serially, one round each — for these
 #: ``rpc_messages_total == 2 * rpc_rounds_total`` exactly when no
 #: request or response was lost.
-PAIRED_KINDS = ("monitor", "scrub", "rebuild", "rebalance")
+PAIRED_KINDS = ("monitor", "scrub", "rebuild", "rebalance", "audit")
 
 #: Per-message header slack for byte ceilings: addrs, tids, lock modes,
 #: snapshot bookkeeping — everything that rides along with the block

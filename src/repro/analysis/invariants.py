@@ -46,7 +46,13 @@ from typing import TYPE_CHECKING
 from repro.analysis.registers import Op, check_regular
 from repro.client.consistency import find_consistent
 from repro.ids import BlockAddr, Tid
-from repro.storage.state import BlockState, LockMode, OpMode, StateSnapshot
+from repro.storage.state import (
+    BlockState,
+    LockMode,
+    OpMode,
+    StateSnapshot,
+    content_fingerprint,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports us not)
     from repro.core.cluster import Cluster
@@ -177,6 +183,24 @@ def check_stripe(
                 "tid_consistency",
                 f"maximal consistent set {sorted(cset)} != all {n} positions",
             )
+    if "fingerprints_match" in invariants:
+        # Opt-in (not in STRIPE_INVARIANTS): at quiescence every NORM
+        # block's bytes must match the digest sealed at its last
+        # legitimate mutation — any split means at-rest corruption
+        # survived repair.  Positions without a fingerprint (restored
+        # from pre-fingerprint records) are unverifiable, not wrong.
+        stale = {
+            j: st.fingerprint
+            for j, st in states.items()
+            if st.opmode is OpMode.NORM
+            and st.fingerprint is not None
+            and content_fingerprint(st.block) != st.fingerprint
+        }
+        if stale:
+            fail(
+                "fingerprints_match",
+                f"positions with stale content fingerprints: {sorted(stale)}",
+            )
     if "placement_agrees" in invariants:
         placement = getattr(cluster, "placement", None)
         if placement is not None:
@@ -258,6 +282,39 @@ def check_history(
         InvariantViolation("register_history", None, str(v))
         for v in check_regular(history, initial)
     ]
+
+
+def check_no_corruption_served(
+    history: list[Op], initial: object = None
+) -> list[InvariantViolation]:
+    """``no_corruption_served``: every read returned bytes some write
+    actually produced.
+
+    Deliberately weaker than (and independent of) the regular-register
+    check: it ignores ordering entirely and asks only whether each read
+    value appears in the set of values ever written to that key (or the
+    initial value).  A single flipped bit served to an application
+    fabricates a value *no* writer produced, which this catches even in
+    histories whose timing the register check cannot constrain."""
+    legitimate: dict[object, set[object]] = {}
+    for op in history:
+        if op.kind == "write":
+            legitimate.setdefault(op.key, set()).add(op.value)
+    out: list[InvariantViolation] = []
+    for op in history:
+        if op.kind != "read":
+            continue
+        allowed = legitimate.get(op.key, set())
+        if op.value != initial and op.value not in allowed:
+            out.append(
+                InvariantViolation(
+                    "no_corruption_served",
+                    None,
+                    f"read of key {op.key!r} returned {op.value!r}, which "
+                    f"no write produced ({len(allowed)} legitimate values)",
+                )
+            )
+    return out
 
 
 def check_quiescence(

@@ -12,6 +12,11 @@ from repro.chaos.explorer import (
     run_schedule,
     save_schedule,
 )
+from repro.chaos.corruption_soak import (
+    CorruptionSoakConfig,
+    CorruptionSoakReport,
+    run_corruption_soak,
+)
 from repro.chaos.gray_soak import (
     GrayPhaseResult,
     GraySoakConfig,
@@ -34,6 +39,8 @@ __all__ = [
     "CrashStep",
     "ExplorerConfig",
     "ExplorerReport",
+    "CorruptionSoakConfig",
+    "CorruptionSoakReport",
     "NULL_CRASHPOINTS",
     "Schedule",
     "ScheduleOutcome",
@@ -48,6 +55,7 @@ __all__ = [
     "SoakReport",
     "load_schedule",
     "minimize_schedule",
+    "run_corruption_soak",
     "run_explorer",
     "run_gray_soak",
     "run_restart_soak",

@@ -14,6 +14,10 @@ Commands
                 mid-workload under combined network + disk faults, and
                 proves restart recovery moves strictly fewer bytes
                 than fail-remap rebuild
+``corruption-soak`` end-to-end integrity soak: seeded wire bit flips
+                plus silent media damage at crash/restart, verified
+                reads + sampling audits detect every injection, and the
+                history proves no corrupt byte was ever served
 ``gray-soak``   gray-node soak: the same seeded read workload against
                 the same stalled-node fault plan, hedged vs un-hedged,
                 proving hedged reads cut p99 with reproducible digests
@@ -60,6 +64,10 @@ from repro.chaos.elastic_soak import (
     prove_graceful_degradation,
     run_elastic_soak,
     smoke_config,
+)
+from repro.chaos.corruption_soak import (
+    CorruptionSoakConfig,
+    run_corruption_soak,
 )
 from repro.chaos.explorer import (
     ExplorerConfig,
@@ -210,6 +218,37 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
     )
     _ensure_dir(args.flight_dir)
     report = run_soak(config)
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  VIOLATION: {violation}")
+    if args.metrics_out and report.metrics:
+        _write_metrics(args.metrics_out, report.metrics)
+    return 0 if report.passed else 1
+
+
+def cmd_corruption_soak(args: argparse.Namespace) -> int:
+    if args.ops is not None:
+        ops = args.ops
+    else:
+        ops = 140 if args.smoke else 400
+    config = CorruptionSoakConfig(
+        seed=args.seed,
+        ops=ops,
+        clients=args.clients,
+        k=args.k,
+        n=args.n,
+        block_size=args.block_size,
+        blocks=args.blocks,
+        read_fraction=args.reads,
+        corrupt=args.corrupt,
+        flip_every=args.flip_every,
+        audit_every=args.audit_every,
+        audit_samples=args.audit_samples,
+        observe=not args.no_observe,
+        flight_dir=args.flight_dir,
+    )
+    _ensure_dir(args.flight_dir)
+    report = run_corruption_soak(config)
     print(report.summary())
     for violation in report.violations:
         print(f"  VIOLATION: {violation}")
@@ -662,6 +701,38 @@ def build_parser() -> argparse.ArgumentParser:
     restart.add_argument("--dup", type=float, default=0.04)
     _add_observe_args(restart)
     restart.set_defaults(func=cmd_restart_soak)
+
+    corruption = sub.add_parser(
+        "corruption-soak",
+        help="end-to-end integrity soak: wire + media corruption vs "
+             "verified reads, sampling audits and parity scrubs",
+        epilog=EXIT_CODES_EPILOG,
+    )
+    corruption.add_argument("--seed", type=int, default=5)
+    corruption.add_argument("--ops", type=int, default=None,
+                            help="workload length (default 400; 140 with "
+                                 "--smoke)")
+    corruption.add_argument("--smoke", action="store_true",
+                            help="short CI-sized run")
+    corruption.add_argument("--clients", type=int, default=2)
+    corruption.add_argument("--k", type=int, default=2)
+    corruption.add_argument("--n", type=int, default=4)
+    corruption.add_argument("--block-size", type=int, default=64)
+    corruption.add_argument("--blocks", type=int, default=12)
+    corruption.add_argument("--reads", type=float, default=0.5)
+    corruption.add_argument("--corrupt", type=float, default=0.08,
+                            help="per-read-response wire bit-flip "
+                                 "probability")
+    corruption.add_argument("--flip-every", type=int, default=60,
+                            help="ops between forced silent media flips "
+                                 "(crash/restart cycles; 0 disables)")
+    corruption.add_argument("--audit-every", type=int, default=30,
+                            help="ops between sampling-audit sweeps "
+                                 "(0 disables)")
+    corruption.add_argument("--audit-samples", type=int, default=8,
+                            help="fingerprint probes per audit sweep")
+    _add_observe_args(corruption)
+    corruption.set_defaults(func=cmd_corruption_soak)
 
     gray = sub.add_parser(
         "gray-soak",

@@ -110,6 +110,15 @@ class ClientConfig:
     #: recovery for writes, the monitor, or the rebuilder.
     degraded_reads: bool = False
 
+    #: End-to-end integrity: after every successful read, cross-check
+    #: the received block against the serving node's recorded content
+    #: fingerprint (one extra tiny RPC, no block payload).  A mismatch
+    #: is never served: wire damage is retried, at-rest damage falls
+    #: back to a degraded decode excluding the liar, triggers repair,
+    #: and quarantines the node.  Off by default — the fault-free wire
+    #: cost model measures exactly the paper's Fig. 1 read column.
+    verified_reads: bool = False
+
     def backoff_for(self, attempt: int) -> float:
         """Deterministic exponential backoff with a cap; attempt is
         0-based.  Retry loops now sleep via the client's jittered

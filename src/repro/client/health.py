@@ -132,7 +132,15 @@ class HealthRegistry:
           circuit would keep condemning long after it came back.  The
           caller remaps unconditionally on this evidence regardless;
         * ``"error"`` — degrades the score but never trips (an
-          application error proves the node is alive).
+          application error proves the node is alive);
+        * ``"corruption"`` — the node served bytes that failed their
+          integrity check: it is alive, answering, and *lying*.  Trips
+          the breaker immediately — harder than a timeout, which needs
+          ``threshold`` consecutive strikes — because a liar is worse
+          than a ghost: its answers poison k-of-n decodes.  Repair
+          traffic still reaches the node via the ordinary half-open
+          probe admissions, so recovery closes the circuit itself once
+          the damage is rewritten.
         """
         a = self.alpha
         with self._lock:
@@ -153,6 +161,15 @@ class HealthRegistry:
                         health.consecutive_timeouts = 0
                         self.breaker_opens += 1
                         tripped = True
+            elif kind == "corruption":
+                if health.state is not CircuitState.OPEN:
+                    # One strike: quarantine without waiting for a
+                    # threshold (see docstring).
+                    health.state = CircuitState.OPEN
+                    health.blocked = 0
+                    health.consecutive_timeouts = 0
+                    self.breaker_opens += 1
+                    tripped = True
             self._export(node_id, health)
             return tripped
 

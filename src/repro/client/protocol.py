@@ -34,6 +34,7 @@ from repro.crashpoints import NULL_CRASHPOINTS
 from repro.directory import Directory
 from repro.errors import (
     CircuitOpenError,
+    CorruptionDetected,
     DataLossError,
     NodeBusyError,
     NodeUnavailableError,
@@ -59,6 +60,7 @@ from repro.storage.state import (
     OpMode,
     StateSnapshot,
     SwapResult,
+    content_fingerprint,
 )
 
 
@@ -80,6 +82,8 @@ class ClientStats:
     hedged_reads: int = 0  # reads where the hedge (reconstruct race) fired
     busy_rejections: int = 0  # NodeBusyError sheds observed (admission)
     breaker_fast_fails: int = 0  # calls refused locally by an open circuit
+    verified_reads: int = 0  # reads whose fingerprint cross-check passed
+    corruptions_detected: int = 0  # fingerprint mismatches (any source)
     budget_denials: int = 0  # retries/hedges refused by the retry budget
     stale_refetches: int = 0  # placement-cache invalidations on stale answers
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -141,6 +145,12 @@ class ProtocolClient:
         self._seq_lock = threading.Lock()
         self._recovering: set[int] = set()
         self._recovering_lock = threading.Lock()
+        # Every fingerprint mismatch this client ever saw, as structured
+        # events.  Kept observability-independent (plain list, not a
+        # metric) so soaks can reconcile detections against the fault
+        # ledger even in --no-observe digest-determinism runs.
+        self.corruption_log: list[CorruptionDetected] = []
+        self._corruption_lock = threading.Lock()
         # Per-node health scoring + circuit breakers.  The cluster wires
         # one shared registry across protocol/monitor/GC/rebuild clients;
         # a standalone client gets its own.
@@ -412,7 +422,22 @@ class ProtocolClient:
                 self._start_recovery(stripe)
                 continue
             if result.block is not None:
-                return result.block
+                verdict = self._verify_read(stripe, index, addr, result.block)
+                if verdict in ("verified", "unverified"):
+                    return result.block
+                if verdict == "media":
+                    # The node's stored bytes are wrong: decode from the
+                    # survivors — the liar must never enter the k-subset
+                    # — then restore the stripe's redundancy.
+                    value = self.read_degraded(
+                        stripe, index, exclude=frozenset({index})
+                    )
+                    self._start_recovery(stripe, exclude=frozenset({index}))
+                    if value is not None:
+                        return value
+                # "wire": damaged in flight, the node's copy is intact —
+                # a plain retry re-reads it.
+                continue
             if result.lmode in (LockMode.UNL, LockMode.EXP):
                 if self.config.degraded_reads:
                     value = self.read_degraded(stripe, index)
@@ -494,7 +519,9 @@ class ProtocolClient:
             self.tracer.emit(self.client_id, "read.hedge.win", stripe=stripe,
                              index=index, winner=winner)
 
-    def read_degraded(self, stripe: int, index: int) -> np.ndarray | None:
+    def read_degraded(
+        self, stripe: int, index: int, exclude: frozenset[int] = frozenset()
+    ) -> np.ndarray | None:
         """Decode data block ``index`` from surviving blocks, read-only.
 
         Extension beyond the paper (its reads always trigger full
@@ -520,8 +547,25 @@ class ProtocolClient:
         data: dict[int, StateSnapshot] = {
             j: res
             for j, res in pfor(list(range(self.n)), snap).items()
-            if isinstance(res, StateSnapshot)
+            if isinstance(res, StateSnapshot) and j not in exclude
         }
+        if self.config.verified_reads:
+            # Drop any snapshot whose bytes fail their own fingerprint:
+            # a convicted liar must not poison the consistent-set
+            # selection or the decode below.
+            for j in sorted(data):
+                snap_j = data[j]
+                if (
+                    snap_j.block is not None
+                    and snap_j.fingerprint is not None
+                    and content_fingerprint(snap_j.block) != snap_j.fingerprint
+                ):
+                    node_id = self.directory.node_id(self._slot(stripe, j))
+                    self._note_corruption("media", stripe, j, node_id)
+                    self.health.observe_failure(
+                        node_id, "corruption", self.config.suspicion_threshold
+                    )
+                    del data[j]
         cset = find_consistent(data, self.k)
         if len(cset) < self.k:
             return None
@@ -534,6 +578,76 @@ class ProtocolClient:
         self.tracer.emit(self.client_id, "read.degraded", stripe=stripe,
                          index=index)
         return self.code.decode(available)[index]
+
+    # ------------------------------------------------------------------
+    # end-to-end integrity
+    # ------------------------------------------------------------------
+
+    def _verify_read(
+        self, stripe: int, index: int, addr: BlockAddr, block: np.ndarray
+    ) -> str:
+        """Cross-check a just-read block against the serving node's
+        recorded content fingerprint.
+
+        Returns ``"verified"`` (digests agree), ``"unverified"`` (the
+        check could not run — feature off, node unreachable, or no
+        fingerprint on record — serve the block best-effort, exactly the
+        pre-verification behaviour), ``"wire"`` (the received bytes
+        differ from what the node holds: damaged in flight, retry), or
+        ``"media"`` (the node's own bytes no longer match the digest it
+        sealed at the last legitimate mutation: at-rest damage, repair).
+        Wire and media can co-occur; media wins the returned verdict —
+        repair subsumes retry — but both detections are recorded, so
+        the ledger's corrupt events reconcile 1:1 with wire detections.
+        """
+        if not self.config.verified_reads:
+            return "unverified"
+        try:
+            self._account_round("audit")
+            fp = self._call(stripe, index, "fingerprint", addr, op_kind="audit")
+        except (NodeUnavailableError, NodeBusyError):
+            return "unverified"
+        if fp.stored is None or fp.opmode is not OpMode.NORM:
+            return "unverified"
+        received = content_fingerprint(block)
+        wire = received != fp.live
+        media = fp.live != fp.stored
+        if not wire and not media:
+            self.stats.bump("verified_reads")
+            if self.metrics.enabled:
+                self.metrics.counter("reads_verified_total").inc()
+            return "verified"
+        node_id = self.directory.node_id(self._slot(stripe, index))
+        if wire:
+            self._note_corruption("wire", stripe, index, node_id)
+            # Transient: score-only penalty — the node itself is honest.
+            self.health.observe_failure(
+                node_id, "error", self.config.suspicion_threshold
+            )
+        if media:
+            self._note_corruption("media", stripe, index, node_id)
+            # Persistent: a lying node is quarantined on the spot.
+            self.health.observe_failure(
+                node_id, "corruption", self.config.suspicion_threshold
+            )
+        return "media" if media else "wire"
+
+    def _note_corruption(
+        self, source: str, stripe: int, index: int, node_id: str
+    ) -> None:
+        event = CorruptionDetected(node_id, stripe, index, source)
+        with self._corruption_lock:
+            self.corruption_log.append(event)
+        self.stats.bump("corruptions_detected")
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "corruption_detected_total", source=source
+            ).inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.client_id, "integrity.corruption",
+                stripe=stripe, index=index, origin=source, node=node_id,
+            )
 
     # ------------------------------------------------------------------
     # WRITE — Fig. 5
@@ -1052,6 +1166,24 @@ class ProtocolClient:
     ) -> tuple[dict[int, StateSnapshot], frozenset[int]]:
         cp = self.crashpoints
         data = self._get_states(stripe, list(range(self.n)))
+        if self.config.verified_reads:
+            # A block failing its own fingerprint must never be decoded
+            # *from*: its tid metadata is indistinguishably clean, so
+            # without this check a no-exclude recovery could launder the
+            # corruption into a freshly fingerprinted stripe.
+            liars = frozenset(
+                j
+                for j, snap in data.items()
+                if snap.block is not None
+                and snap.fingerprint is not None
+                and content_fingerprint(snap.block) != snap.fingerprint
+            )
+            for j in sorted(liars - exclude):
+                self._note_corruption(
+                    "media", stripe, j,
+                    self.directory.node_id(self._slot(stripe, j)),
+                )
+            exclude = exclude | liars
         # Pick up a crashed recovery: someone already chose a consistent
         # set and started writing it back (opmode RECONS).
         for h in range(self.n):

@@ -480,7 +480,7 @@ class Cluster:
                     )
                     continue
                 for fld in ("opmode", "epoch", "recentlist", "oldlist",
-                            "recons_set"):
+                            "recons_set", "fingerprint"):
                     if getattr(durable, fld) != getattr(memory, fld):
                         mismatches.append(
                             f"slot {slot} {addr}: persisted {fld} "

@@ -112,6 +112,55 @@ class StalePlacementError(ReproError):
         )
 
 
+class IntegrityError(ReproError):
+    """A block's content failed an end-to-end integrity check.
+
+    The AJX fault model is fail-stop, but PR 4's WAL bit flips already
+    proved the media can lie: a node may serve syntactically valid,
+    *wrong* bytes.  Integrity errors are deliberately not
+    :class:`NodeUnavailableError` subclasses — the node answered, its
+    metadata is clean, only the payload is untrustworthy.  Remapping the
+    slot would be wrong; the right responses are degraded decode
+    (excluding the liar), repair via recovery, and quarantine.
+    """
+
+
+class CorruptionDetected(IntegrityError):
+    """A specific block's bytes do not match its recorded fingerprint.
+
+    ``source`` classifies where the damage happened: ``"wire"`` (the
+    node's copy is fine, the RPC payload was mangled in flight — retry
+    suffices), ``"media"`` (the stored bytes themselves are wrong —
+    repair required), or ``"audit"`` (found by the sampling auditor,
+    which by construction only sees at-rest damage).
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        stripe: int,
+        index: int,
+        source: str,
+        detail: str = "",
+    ):
+        super().__init__(
+            f"corrupt block at stripe {stripe} index {index} on node "
+            f"{node_id!r} (source: {source})" + (f": {detail}" if detail else "")
+        )
+        self.node_id = node_id
+        self.stripe = stripe
+        self.index = index
+        self.source = source
+        self.detail = detail
+
+    def __reduce__(self):
+        # Survive pickling over TcpTransport with fields intact.
+        return (
+            CorruptionDetected,
+            (self.node_id, self.stripe, self.index, self.source, self.detail),
+        )
+
+
 class CircuitOpenError(NodeUnavailableError):
     """Fast-fail raised by the client's circuit breaker while a node's
     circuit is open: the node is *believed* failed, so calls are not

@@ -37,10 +37,13 @@ import random
 import threading
 import time
 from collections.abc import Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+
+import numpy as np
 
 from repro.errors import NodeBusyError, NodeUnavailableError, RpcTimeoutError
 from repro.net.message import estimate_size
+from repro.storage.state import ReadResult
 from repro.net.transport import (
     UNATTRIBUTED_KIND,
     FailureListener,
@@ -62,6 +65,22 @@ def _unit(*parts: object) -> float:
     text = "|".join(str(p) for p in parts).encode()
     digest = hashlib.blake2b(text, digest_size=8).digest()
     return int.from_bytes(digest, "big") / 2**64
+
+
+def _corrupt_response(result: object, key: tuple) -> object | None:
+    """A copy of ``result`` with one deterministically chosen bit of
+    its block payload flipped, or None when there is nothing to flip
+    (the response carries no block).  The flip happens on a copy: the
+    serving node's state is untouched — only the wire lies."""
+    if not isinstance(result, ReadResult) or result.block is None:
+        return None
+    block = np.array(result.block, dtype=np.uint8, copy=True)
+    if block.size == 0:
+        return None
+    bit = int(_unit(*key, "bit") * block.size * 8)
+    bit = min(bit, block.size * 8 - 1)
+    block[bit // 8] ^= np.uint8(1 << (bit % 8))
+    return replace(result, block=block)
 
 
 @dataclass(frozen=True)
@@ -88,6 +107,12 @@ class FaultRule:
     jitter: float = 0.0
     #: Gray-node stall: every matching message takes this long, seconds.
     stall: float = 0.0
+    #: Probability the *response* payload is corrupted in flight (one
+    #: deterministic bit flip in a read's block).  Only read-style
+    #: responses carrying a block are affected; the node's own copy
+    #: stays intact — this is the wire-corruption axis, the at-rest
+    #: axis being the WAL's media flips.
+    corrupt: float = 0.0
     #: Activation window in link op counts: [after_op, before_op).
     after_op: int = 0
     before_op: int | None = None
@@ -112,17 +137,24 @@ class FaultDecision:
     dup: bool = False
     delay: float = 0.0
     stall: float = 0.0
+    corrupt: bool = False
 
     @property
     def faulty(self) -> bool:
-        return self.drop or self.dup or self.delay > 0.0 or self.stall > 0.0
+        return (
+            self.drop
+            or self.dup
+            or self.delay > 0.0
+            or self.stall > 0.0
+            or self.corrupt
+        )
 
 
 @dataclass(frozen=True)
 class FaultEvent:
     """One injected fault, for the ledger."""
 
-    kind: str  # drop | duplicate | delay | stall | stall_timeout | late_delivery
+    kind: str  # drop | duplicate | delay | stall | stall_timeout | late_delivery | corrupt
     src: str
     dst: str
     op: str
@@ -161,7 +193,7 @@ class FaultPlan:
         self.blackhole = blackhole
 
     def decide(self, src: str, dst: str, op: str, count: int) -> FaultDecision:
-        drop = dup = False
+        drop = dup = corrupt = False
         delay = 0.0
         stall = 0.0
         for idx, rule in enumerate(self.rules):
@@ -172,11 +204,15 @@ class FaultPlan:
                 drop = True
             if rule.dup and _unit(*key, "dup") < rule.dup:
                 dup = True
+            if rule.corrupt and _unit(*key, "corrupt") < rule.corrupt:
+                corrupt = True
             if rule.delay or rule.jitter:
                 delay += rule.delay + rule.jitter * _unit(*key, "jitter")
             if rule.stall:
                 stall = max(stall, rule.stall)
-        return FaultDecision(drop=drop, dup=dup, delay=delay, stall=stall)
+        return FaultDecision(
+            drop=drop, dup=dup, delay=delay, stall=stall, corrupt=corrupt
+        )
 
     @classmethod
     def generate(
@@ -190,6 +226,7 @@ class FaultPlan:
         jitter: float = 0.0008,
         gray_stall: float = 5.0,
         gray_window: tuple[int, int] = (10, 80),
+        corrupt: float = 0.0,
         blackhole: float = 30.0,
     ) -> "FaultPlan":
         """A randomized-but-seeded plan over a set of storage nodes.
@@ -223,6 +260,11 @@ class FaultPlan:
                     before_op=gray_window[1],
                 )
             )
+        if corrupt > 0:
+            # Wire corruption targets read responses cluster-wide: the
+            # only RPC whose response carries a block payload a client
+            # will hand to an application.
+            rules.append(FaultRule(op="read", corrupt=corrupt))
         return cls(rules, seed=seed, blackhole=blackhole)
 
 
@@ -452,6 +494,16 @@ class ChaosTransport(Transport):
                 budget -= decision.delay
 
         result = self.inner.call(src, dst, op, *args, timeout=budget, **kwargs)
+        if decision.corrupt:
+            corrupted = _corrupt_response(
+                result, (self.plan.seed, src, dst, op, count)
+            )
+            if corrupted is not None:
+                # Ledgered only when bytes actually changed hands wrong
+                # (a blockless response has nothing to flip), keeping
+                # the ledger 1:1 with corrupt payloads delivered.
+                self._record("corrupt", src, dst, op, count, size)
+                result = corrupted
         if decision.dup:
             # Second delivery of the same request (a retrying network);
             # its response is discarded, so only server-side effects

@@ -43,6 +43,7 @@ from repro.storage.state import (
     AddStatus,
     BlockState,
     CheckTidStatus,
+    FingerprintResult,
     LockMode,
     OpMode,
     ReadResult,
@@ -50,6 +51,7 @@ from repro.storage.state import (
     SwapResult,
     TidEntry,
     TryLockResult,
+    content_fingerprint,
     tids,
 )
 
@@ -88,6 +90,7 @@ class StorageNode(RpcHandler):
             "probe",
             "set_generation",
             "retire",
+            "fingerprint",
         }
     )
 
@@ -213,10 +216,15 @@ class StorageNode(RpcHandler):
         if state is None:
             size = self._meta(addr).block_size
             if self.fresh:
+                # INIT garbage is never served; no fingerprint until
+                # a reconstruct writes real content.
                 content = self._rng.integers(0, 256, size, dtype=np.uint8)
                 state = BlockState(block=content, opmode=OpMode.INIT)
             else:
-                state = BlockState(block=np.zeros(size, dtype=np.uint8))
+                zeros = np.zeros(size, dtype=np.uint8)
+                state = BlockState(
+                    block=zeros, fingerprint=content_fingerprint(zeros)
+                )
             self._blocks[addr] = state
         return state
 
@@ -354,6 +362,7 @@ class StorageNode(RpcHandler):
             )
         retblk = state.block
         state.block = np.array(v, dtype=np.uint8, copy=True)
+        state.fingerprint = content_fingerprint(state.block)
         latest = state.latest_recent()
         otid = latest.tid if latest is not None else None
         state.recentlist.add(self._entry(ntid))
@@ -413,6 +422,7 @@ class StorageNode(RpcHandler):
             field.iadd_block(state.block, np.asarray(v, dtype=np.uint8))
         else:
             field.addmul_block(state.block, coeff, np.asarray(v, dtype=np.uint8))
+        state.fingerprint = content_fingerprint(state.block)
         state.recentlist.add(self._entry(ntid))
         self._persist(addr, state)
         self._observe(addr)
@@ -467,6 +477,25 @@ class StorageNode(RpcHandler):
             oldlist=frozenset(state.oldlist),
             recentlist=frozenset(state.recentlist),
             block=blk,
+            fingerprint=None if state.opmode is OpMode.INIT else state.fingerprint,
+        )
+
+    def fingerprint(self, addr: BlockAddr) -> FingerprintResult:
+        """Integrity probe: the recorded digest vs the bytes on hand.
+
+        Deliberately tiny on the wire — two digests and two flags, no
+        block payload — which is what makes sampled auditing cheap
+        relative to a full scrub.  ``stored != live`` convicts the
+        medium: every legitimate mutation updates both under the node
+        lock, so only out-of-band damage (a WAL flip) can split them.
+        """
+        state = self._state(addr)
+        self._maybe_expire(state)
+        return FingerprintResult(
+            stored=None if state.opmode is OpMode.INIT else state.fingerprint,
+            live=content_fingerprint(state.block),
+            opmode=state.opmode,
+            pending=bool(state.recentlist),
         )
 
     def getrecent(self, addr: BlockAddr, lm: LockMode, caller: str) -> frozenset[TidEntry]:
@@ -481,6 +510,7 @@ class StorageNode(RpcHandler):
         state.opmode = OpMode.RECONS
         state.recons_set = frozenset(cset)
         state.block = np.array(blk, dtype=np.uint8, copy=True)
+        state.fingerprint = content_fingerprint(state.block)
         # A migration copying a block *back* onto a previously retired
         # position revives it: the fresh image supersedes the marker.
         self._retired.discard(addr)
@@ -496,6 +526,10 @@ class StorageNode(RpcHandler):
             state.opmode = OpMode.NORM
         state.lmode = LockMode.UNL
         state.lid = None
+        if state.fingerprint is None and state.opmode is OpMode.NORM:
+            # Pre-fingerprint restored state entering service: seal the
+            # current content so later audits have a baseline.
+            state.fingerprint = content_fingerprint(state.block)
         self._persist_meta(addr, state)
 
     # ------------------------------------------------------------------

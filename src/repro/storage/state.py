@@ -16,6 +16,7 @@ The result dataclasses carry exactly the tuples the pseudocode returns
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -102,6 +103,31 @@ class StateSnapshot:
     oldlist: frozenset[TidEntry]
     recentlist: frozenset[TidEntry]
     block: np.ndarray | None
+    #: Content fingerprint recorded when ``block`` was last mutated
+    #: (None for INIT garbage and for states restored from pre-
+    #: fingerprint WAL records).
+    fingerprint: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class FingerprintResult:
+    """What the ``fingerprint`` RPC returns: the digest recorded when
+    the block was last legitimately mutated (``stored``), the digest of
+    the bytes the node would serve right now (``live``), and enough
+    context for the caller to know whether a verdict is meaningful.
+    ``stored != live`` means the medium corrupted the block at rest —
+    every legitimate mutation path updates both under the node lock."""
+
+    stored: str | None  # None: INIT garbage or pre-fingerprint state
+    live: str
+    opmode: OpMode
+    pending: bool  # recentlist non-empty: writes not yet collected
+
+
+def content_fingerprint(block: np.ndarray) -> str:
+    """Digest of a block's content (cheap, deterministic, 16 bytes)."""
+    data = np.ascontiguousarray(block, dtype=np.uint8).tobytes()
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
 
 
 def tids(entries: frozenset[TidEntry] | set[TidEntry]) -> set[Tid]:
@@ -126,6 +152,10 @@ class BlockState:
     lid: str | None = None  # client currently holding the lock
     lock_time: float = 0.0  # wall clock when the lock was last taken
     recons_set: frozenset[int] | None = None
+    #: Digest of ``block`` recorded under the node lock at every
+    #: legitimate mutation (swap/add/reconstruct); persisted alongside
+    #: the bytes so an at-rest flip leaves it stale and detectable.
+    fingerprint: str | None = None
 
     def recent_tids(self) -> set[Tid]:
         return tids(self.recentlist)

@@ -81,6 +81,10 @@ def state_to_record(addr: BlockAddr, state: BlockState) -> dict:
         "recent": entries(state.recentlist),
         "old": entries(state.oldlist),
         "block": state.block.tobytes(),
+        # Persisted alongside the bytes (not recomputed at replay): a
+        # media flip that damages "block" leaves this digest stale, so
+        # at-rest corruption stays detectable across a crash-restart.
+        "fingerprint": state.fingerprint,
     }
 
 
@@ -105,6 +109,9 @@ def record_to_state(record: dict) -> tuple[BlockAddr, BlockState]:
         recons_set=None
         if record["recons"] is None
         else frozenset(record["recons"]),
+        # .get: records written before fingerprints existed restore
+        # with None (unverifiable, not wrong).
+        fingerprint=record.get("fingerprint"),
     )
     return BlockAddr(volume, stripe, index), state
 

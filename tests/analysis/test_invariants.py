@@ -133,3 +133,84 @@ class TestInvariantOrder:
             "gc_collectable",
             "tid_consistency",
         }
+
+
+class TestFingerprintsMatch:
+    def test_opt_in_not_in_default_pack(self):
+        assert "fingerprints_match" not in STRIPE_INVARIANTS
+
+    def test_clean_stripe_passes(self, written_cluster):
+        pack = STRIPE_INVARIANTS + ("fingerprints_match",)
+        assert check_stripe(written_cluster, 0, invariants=pack) == []
+
+    def test_stale_fingerprint_fires(self, written_cluster):
+        state = stripe_states(written_cluster, 0)[0]
+        state.block = np.bitwise_xor(state.block, 0xFF)
+        failed = {
+            v.invariant
+            for v in check_stripe(
+                written_cluster, 0, invariants=("fingerprints_match",)
+            )
+        }
+        assert failed == {"fingerprints_match"}
+
+    def test_missing_fingerprint_is_unverifiable_not_wrong(
+        self, written_cluster
+    ):
+        state = stripe_states(written_cluster, 0)[0]
+        state.fingerprint = None  # e.g. restored from a legacy record
+        assert (
+            check_stripe(
+                written_cluster, 0, invariants=("fingerprints_match",)
+            )
+            == []
+        )
+
+
+class TestNoCorruptionServed:
+    def _ops(self):
+        return [
+            Op("write", 0, b"a", 1.0, 2.0),
+            Op("write", 1, b"b", 1.0, 2.0),
+            Op("read", 0, b"a", 3.0, 4.0),
+        ]
+
+    def test_legitimate_values_pass(self):
+        from repro.analysis.invariants import check_no_corruption_served
+
+        assert check_no_corruption_served(self._ops()) == []
+
+    def test_fabricated_value_fires(self):
+        from repro.analysis.invariants import check_no_corruption_served
+
+        history = self._ops() + [Op("read", 0, b"\xffa", 5.0, 6.0)]
+        violations = check_no_corruption_served(history)
+        assert len(violations) == 1
+        assert violations[0].invariant == "no_corruption_served"
+
+    def test_cross_key_value_still_fires(self):
+        """Weaker than the register check on *ordering*, but strict on
+        provenance per key: key 0 never produced b'b'."""
+        from repro.analysis.invariants import check_no_corruption_served
+
+        history = self._ops() + [Op("read", 0, b"b", 5.0, 6.0)]
+        assert len(check_no_corruption_served(history)) == 1
+
+    def test_initial_value_allowed(self):
+        from repro.analysis.invariants import check_no_corruption_served
+
+        history = [Op("read", 7, b"\x00", 1.0, 2.0)]
+        assert check_no_corruption_served(history, initial=b"\x00") == []
+        assert len(check_no_corruption_served(history, initial=None)) == 1
+
+    def test_ignores_ordering_entirely(self):
+        """A stale-but-legitimate read passes here (the register check
+        owns ordering)."""
+        from repro.analysis.invariants import check_no_corruption_served
+
+        history = [
+            Op("write", 0, b"a", 1.0, 2.0),
+            Op("write", 0, b"b", 3.0, 4.0),
+            Op("read", 0, b"a", 5.0, 6.0),
+        ]
+        assert check_no_corruption_served(history) == []

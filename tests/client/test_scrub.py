@@ -85,3 +85,139 @@ class TestScrub:
         # Whatever was unavailable got recovered.
         for s in range(4):
             assert cluster.stripe_consistent(s)
+
+
+class TestDetectionProbability:
+    def test_matches_hypergeometric_complement(self):
+        from math import comb
+
+        from repro.client.scrub import detection_probability
+
+        total, corrupt, samples = 48, 2, 8
+        expected = 1 - comb(total - corrupt, samples) / comb(total, samples)
+        assert detection_probability(total, corrupt, samples) == pytest.approx(
+            expected
+        )
+
+    def test_edges(self):
+        from repro.client.scrub import detection_probability
+
+        assert detection_probability(48, 0, 8) == 0.0
+        assert detection_probability(0, 0, 8) == 0.0
+        assert detection_probability(48, 2, 0) == 0.0
+        # Sampling everything always finds a bad block.
+        assert detection_probability(48, 1, 48) == pytest.approx(1.0)
+        assert detection_probability(10, 3, 99) == pytest.approx(1.0)
+
+    def test_monotone_in_samples(self):
+        from repro.client.scrub import detection_probability
+
+        curve = [detection_probability(48, 2, s) for s in (2, 4, 8, 16, 32)]
+        assert curve == sorted(curve)
+
+
+class TestSamplingAuditor:
+    def _media_corrupt(self, cluster, stripe, index):
+        slot = cluster.layout.node_of_stripe_index(stripe, index)
+        node = cluster.node_for_slot(slot)
+        state = node.peek(BlockAddr("vol0", stripe, index))
+        state.block = state.block.copy()
+        state.block[0] ^= 0xFF
+
+    def test_full_coverage_sweep_convicts_and_repairs(self, seeded):
+        from repro.client.scrub import SamplingAuditor
+
+        cluster, _ = seeded
+        self._media_corrupt(cluster, 1, 3)
+        client = cluster.protocol_client("audit")
+        auditor = SamplingAuditor(client, seed=1, samples_per_sweep=16)
+        report = auditor.sweep(range(4))
+        assert report.hits == [(1, 3)]
+        assert report.corrupt_blocks == [(1, 3)]  # exclude-one agreed
+        assert report.repaired == [1]
+        assert cluster.stripe_consistent(1)
+        assert any(
+            c.source == "audit" and (c.stripe, c.index) == (1, 3)
+            for c in client.corruption_log
+        )
+
+    def test_clean_cluster_all_verified(self, seeded):
+        from repro.client.scrub import SamplingAuditor
+
+        cluster, _ = seeded
+        client = cluster.protocol_client("audit")
+        report = SamplingAuditor(client, seed=1, samples_per_sweep=16).sweep(
+            range(4)
+        )
+        assert report.hits == []
+        assert report.skipped == 0
+        assert report.verified == report.samples == 16
+
+    def test_samples_are_seeded_and_sweep_dependent(self, seeded):
+        import random
+
+        from repro.client.scrub import SamplingAuditor
+
+        cluster, _ = seeded
+        client = cluster.protocol_client("audit")
+        pairs = [(s, j) for s in range(4) for j in range(4)]
+        expected = sorted(random.Random("audit|9|0").sample(pairs, 8))
+        a = SamplingAuditor(client, seed=9, samples_per_sweep=8)
+        b = SamplingAuditor(client, seed=9, samples_per_sweep=8)
+        a_first, b_first = a.sweep(range(4)), b.sweep(range(4))
+        assert a_first.samples == b_first.samples == len(expected)
+        assert a._sweep_no == b._sweep_no == 1
+        # Sweep 1 draws an independent (here: different) sample.
+        assert sorted(random.Random("audit|9|1").sample(pairs, 8)) != expected
+
+    def test_mid_write_probe_yields_no_verdict(self, seeded):
+        """Satellite: a stripe with outstanding (uncollected) writes is
+        unjudgeable — skipped, never reported corrupt."""
+        from repro.client.scrub import SamplingAuditor
+
+        cluster, vol = seeded
+        vol.write_block(0, b"fresh")  # recentlist now non-empty
+        client = cluster.protocol_client("audit")
+        report = SamplingAuditor(client, seed=1, samples_per_sweep=16).sweep(
+            [0]
+        )
+        assert report.hits == []
+        # Every position the write addressed (its data block + all
+        # redundancy) is undecidable; untouched positions still verify.
+        assert report.skipped == 3
+        assert report.verified == 1
+        assert client.corruption_log == []
+        assert cluster.health.breaker_opens == 0
+
+    def test_mid_write_with_real_corruption_elsewhere(self, seeded):
+        """Pending writes on one stripe never mask (or fabricate)
+        verdicts on others."""
+        from repro.client.scrub import SamplingAuditor
+
+        cluster, vol = seeded
+        vol.write_block(0, b"fresh")
+        self._media_corrupt(cluster, 2, 3)
+        client = cluster.protocol_client("audit")
+        report = SamplingAuditor(client, seed=1, samples_per_sweep=16).sweep(
+            range(4)
+        )
+        assert report.hits == [(2, 3)]
+        assert (0, 0) not in report.corrupt_blocks
+
+    def test_quarantines_after_cross_check(self, seeded):
+        from repro.client.health import CircuitState
+        from repro.client.scrub import SamplingAuditor
+
+        cluster, _ = seeded
+        self._media_corrupt(cluster, 1, 3)
+        node_id = cluster.directory.node_id(
+            cluster.layout.node_of_stripe_index(1, 3)
+        )
+        client = cluster.protocol_client("audit")
+        auditor = SamplingAuditor(
+            client, seed=1, samples_per_sweep=16, repair=False
+        )
+        report = auditor.sweep(range(4))
+        assert report.escalations == 1
+        assert report.corrupt_blocks == [(1, 3)]  # snapshot beat the breaker
+        assert cluster.health.state(node_id) is CircuitState.OPEN

@@ -289,3 +289,108 @@ class TestClusterUnderChaos:
         assert bytes(block[:19]) == b"survives gray nodes"
         assert elapsed < 5.0  # deadline-bounded, not stall-bounded
         assert reader.stats.rpc_timeouts >= 1
+
+
+class BlockServer(RpcHandler):
+    """Returns a ReadResult payload so corrupt faults have bytes to flip."""
+
+    def __init__(self, size=32):
+        import numpy as np
+
+        from repro.storage.state import LockMode, ReadResult
+
+        self.result = ReadResult(
+            block=np.zeros(size, dtype=np.uint8), lmode=LockMode.UNL
+        )
+        self.empty = ReadResult(block=None, lmode=LockMode.UNL)
+
+    def handle(self, op, *args, **kwargs):
+        if op == "read":
+            return self.result
+        if op == "read-bottom":
+            return self.empty
+        return (op, args)
+
+
+def corrupt_net(rules, seed=0):
+    inner = LocalTransport()
+    inner.register("a", BlockServer())
+    chaos = ChaosTransport(inner, FaultPlan(rules, seed=seed))
+    chaos.register("client")
+    return chaos
+
+
+class TestCorruptFault:
+    def test_flips_exactly_one_bit_and_ledgers(self):
+        import numpy as np
+
+        chaos = corrupt_net([FaultRule(op="read", corrupt=1.0)])
+        result = chaos.call("client", "a", "read")
+        flipped = np.unpackbits(result.block).sum()
+        assert flipped == 1  # one bit, nothing else
+        assert chaos.ledger_counts() == {"corrupt": 1}
+
+    def test_server_copy_untouched(self):
+        """The flip mangles the response in flight, not the node's state."""
+        inner = LocalTransport()
+        server = BlockServer()
+        inner.register("a", server)
+        chaos = ChaosTransport(
+            inner, FaultPlan([FaultRule(op="read", corrupt=1.0)])
+        )
+        chaos.register("client")
+        chaos.call("client", "a", "read")
+        assert not server.result.block.any()
+
+    def test_non_read_results_pass_clean(self):
+        chaos = corrupt_net([FaultRule(corrupt=1.0)])  # any op
+        assert chaos.call("client", "a", "ping", 7) == ("ping", (7,))
+        assert chaos.ledger == []  # nothing flippable: no event recorded
+
+    def test_bottom_read_passes_clean(self):
+        chaos = corrupt_net([FaultRule(op="read", corrupt=1.0)])
+        assert chaos.call("client", "a", "read-bottom").block is None
+        assert chaos.ledger == []
+
+    def test_deterministic_across_runs(self):
+        import numpy as np
+
+        runs = []
+        for _ in range(2):
+            chaos = corrupt_net(
+                [FaultRule(op="read", corrupt=0.5)], seed=17
+            )
+            blocks = [
+                chaos.call("client", "a", "read").block.copy()
+                for _ in range(40)
+            ]
+            runs.append((blocks, chaos.ledger_key()))
+        assert runs[0][1] == runs[1][1]
+        assert all(
+            np.array_equal(x, y) for x, y in zip(runs[0][0], runs[1][0])
+        )
+        assert 0 < len(runs[0][1]) < 40  # probabilistic, seeded
+
+    def test_zero_probability_is_digest_neutral(self):
+        """A rule carrying corrupt=0.0 draws nothing: decisions (and so
+        every other fault's outcomes) match a plan without the field."""
+        base = [FaultRule(drop=0.3, dup=0.2)]
+        extended = [FaultRule(drop=0.3, dup=0.2, corrupt=0.0)]
+        sweep = [("c", "s", op, i) for i in range(200) for op in ("read", "add")]
+        decisions_a = [
+            FaultPlan(base, seed=23).decide(*args) for args in sweep
+        ]
+        decisions_b = [
+            FaultPlan(extended, seed=23).decide(*args) for args in sweep
+        ]
+        assert decisions_a == decisions_b
+
+    def test_generate_with_corrupt_is_reproducible(self):
+        nodes = [f"storage-{i}" for i in range(4)]
+        assert (
+            FaultPlan.generate(3, nodes, corrupt=0.1).rules
+            == FaultPlan.generate(3, nodes, corrupt=0.1).rules
+        )
+        assert any(
+            r.corrupt for r in FaultPlan.generate(3, nodes, corrupt=0.1).rules
+        )

@@ -192,3 +192,39 @@ class TestClusterOverTcp:
         report = vol.monitor_sweep([0])
         assert report.recovered_stripes == []
         assert cluster.metadata_bytes() / cluster.block_count() <= 10
+
+
+class Liar(RpcHandler):
+    """Raises CorruptionDetected so transports must carry it intact."""
+
+    def handle(self, op, *args, **kwargs):
+        from repro.errors import CorruptionDetected
+
+        raise CorruptionDetected("server", 4, 1, "media", detail="audit")
+
+
+class TestIntegrityErrorsOverTheWire:
+    def test_corruption_detected_over_tcp(self, tcp):
+        """The exception crosses the pickle boundary with every field
+        intact (it defines __reduce__ for its positional __init__)."""
+        from repro.errors import CorruptionDetected
+
+        tcp.register("server", Liar())
+        tcp.register("client")
+        with pytest.raises(CorruptionDetected) as info:
+            tcp.call("client", "server", "fingerprint")
+        exc = info.value
+        assert (exc.node_id, exc.stripe, exc.index) == ("server", 4, 1)
+        assert exc.source == "media"
+        assert exc.detail == "audit"
+
+    def test_corruption_detected_over_local(self):
+        from repro.errors import CorruptionDetected
+        from repro.net.local import LocalTransport
+
+        local = LocalTransport()
+        local.register("server", Liar())
+        local.register("client")
+        with pytest.raises(CorruptionDetected) as info:
+            local.call("client", "server", "fingerprint")
+        assert info.value.source == "media"

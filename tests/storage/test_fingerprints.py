@@ -1,0 +1,128 @@
+"""Content fingerprints: sealed at every mutation, durable, probe-able."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cluster import Cluster
+from repro.erasure.rs import ReedSolomonCode
+from repro.erasure.striping import StripeLayout
+from repro.ids import BlockAddr, Tid
+from repro.storage.node import StorageNode, VolumeMeta
+from repro.storage.state import (
+    BlockState,
+    OpMode,
+    content_fingerprint,
+)
+from repro.storage.wal import WalStore, record_to_state, state_to_record
+
+BS = 32
+
+
+def make_node(slot=0, fresh=False):
+    meta = VolumeMeta(
+        code=ReedSolomonCode(2, 4),
+        layout=StripeLayout(2, 4),
+        block_size=BS,
+    )
+    return StorageNode(f"s{slot}", slot, {"vol": meta}, fresh=fresh, seed=slot)
+
+
+def addr(index, stripe=0):
+    return BlockAddr("vol", stripe, index)
+
+
+def tid(seq, index=0, client="c"):
+    return Tid(seq, index, client)
+
+
+def block(fill):
+    return np.full(BS, fill, dtype=np.uint8)
+
+
+class TestNodeMaintainsFingerprints:
+    def test_original_zero_block_is_fingerprinted(self):
+        node = make_node()
+        st = node.peek(addr(0))
+        assert st.fingerprint == content_fingerprint(st.block)
+
+    def test_init_garbage_has_no_fingerprint(self):
+        node = make_node(fresh=True)
+        assert node.peek(addr(0)).fingerprint is None
+        fp = node.fingerprint(addr(0))
+        assert fp.stored is None  # garbage: unverifiable, not corrupt
+        assert fp.opmode is OpMode.INIT
+
+    def test_swap_reseals(self):
+        node = make_node()
+        node.swap(addr(0), block(7), tid(1))
+        st = node.peek(addr(0))
+        assert st.fingerprint == content_fingerprint(block(7))
+
+    def test_add_reseals(self):
+        node = make_node()
+        before = node.peek(addr(2)).fingerprint
+        node.add(addr(2), block(3), tid(1), None, 0)
+        st = node.peek(addr(2))
+        assert st.fingerprint != before
+        assert st.fingerprint == content_fingerprint(st.block)
+
+    def test_fingerprint_rpc_matches_until_tampered(self):
+        node = make_node()
+        node.swap(addr(0), block(9), tid(1))
+        fp = node.fingerprint(addr(0))
+        assert fp.stored == fp.live
+        assert fp.pending  # the swap's tid is still in the recentlist
+        # Tamper with the medium behind the fingerprint's back.
+        st = node.peek(addr(0))
+        st.block = st.block.copy()
+        st.block[0] ^= 0xFF
+        fp = node.fingerprint(addr(0))
+        assert fp.stored != fp.live
+
+    def test_snapshot_carries_fingerprint(self):
+        node = make_node()
+        node.swap(addr(0), block(5), tid(1))
+        snap = node.get_state(addr(0))
+        assert snap.fingerprint == content_fingerprint(block(5))
+
+
+class TestDurability:
+    def test_record_roundtrip_preserves_fingerprint(self):
+        state = BlockState(
+            block=block(4), fingerprint=content_fingerprint(block(4))
+        )
+        _, back = record_to_state(state_to_record(addr(1), state))
+        assert back.fingerprint == state.fingerprint
+
+    def test_legacy_record_without_fingerprint(self):
+        record = state_to_record(addr(1), BlockState(block=block(4)))
+        record.pop("fingerprint")
+        _, back = record_to_state(record)
+        assert back.fingerprint is None
+
+    def test_media_flip_leaves_stale_fingerprint_after_restart(self):
+        """A silent WAL bit flip replays clean — and the restored block
+        no longer matches its sealed digest, which is the whole point:
+        the damage is detectable without any parity traffic."""
+        cluster = Cluster(
+            k=2, n=4, block_size=BS,
+            store_factory=lambda slot: WalStore(tag=f"slot{slot}"),
+        )
+        vol = cluster.client("writer")
+        for b in range(4):
+            vol.write_block(b, bytes([b + 1]))
+        slot = cluster.layout.locate(0).node
+        cluster.stores[slot].sync()
+        cluster.crash_storage(slot, policy="restart", media_force="flip")
+        report = cluster.restart_storage(slot)
+        assert report.clean  # the flip re-seals the CRC: silent
+        node = cluster.node_for_slot(slot)
+        stale = [
+            a
+            for a in node.addresses()
+            if node.peek(a).fingerprint is not None
+            and content_fingerprint(node.peek(a).block)
+            != node.peek(a).fingerprint
+        ]
+        assert len(stale) == 1  # exactly the one forced flip

@@ -76,3 +76,33 @@ class TestErrorHierarchy:
         exc = errors.NodeUnavailableError("storage-3", "crashed")
         assert exc.node_id == "storage-3"
         assert "storage-3" in str(exc)
+
+
+class TestIntegrityErrors:
+    def test_hierarchy(self):
+        assert issubclass(errors.CorruptionDetected, errors.IntegrityError)
+        assert issubclass(errors.IntegrityError, errors.ReproError)
+        # Deliberately NOT an unavailability: the node is up and lying.
+        assert not issubclass(
+            errors.IntegrityError, errors.NodeUnavailableError
+        )
+
+    def test_carries_location_and_source(self):
+        exc = errors.CorruptionDetected("storage-2", 4, 1, "media")
+        assert (exc.node_id, exc.stripe, exc.index) == ("storage-2", 4, 1)
+        assert exc.source == "media"
+        assert "storage-2" in str(exc)
+        assert "media" in str(exc)
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        exc = errors.CorruptionDetected(
+            "storage-2", 4, 1, "wire", detail="bit 137"
+        )
+        back = pickle.loads(pickle.dumps(exc))
+        assert isinstance(back, errors.CorruptionDetected)
+        assert (back.node_id, back.stripe, back.index) == ("storage-2", 4, 1)
+        assert back.source == "wire"
+        assert back.detail == "bit 137"
+        assert str(back) == str(exc)
