@@ -76,6 +76,19 @@ def counter_label_values(snapshot: dict, name: str, label: str) -> set[str]:
     return values
 
 
+def gauge_value(snapshot: dict, name: str, **labels: str) -> float:
+    """Sum every sample of gauge ``name`` whose labels match all of
+    ``labels`` (subset match, mirroring :func:`sum_counters`)."""
+    total = 0.0
+    for row in snapshot.get("gauges", []):
+        if row.get("name") != name:
+            continue
+        row_labels = row.get("labels", {})
+        if all(row_labels.get(k) == v for k, v in labels.items()):
+            total += row.get("value", 0)
+    return total
+
+
 @dataclass(frozen=True)
 class MeasuredKind:
     """Wire truth for one op kind, extracted from a snapshot."""
@@ -153,6 +166,8 @@ class OpCounts:
     rpc_timeouts: int = 0
     order_retries: int = 0
     stale_refetches: int = 0
+    directory_leg_failures: int = 0
+    directory_repairs: int = 0
 
 
 def op_counts(snapshot: dict, wire: dict[str, MeasuredKind]) -> OpCounts:
@@ -178,6 +193,10 @@ def op_counts(snapshot: dict, wire: dict[str, MeasuredKind]) -> OpCounts:
         rpc_timeouts=client("rpc_timeouts"),
         order_retries=client("order_retries"),
         stale_refetches=client("stale_refetches"),
+        directory_leg_failures=int(
+            sum_counters(snapshot, "directory_leg_failures_total")
+        ),
+        directory_repairs=int(sum_counters(snapshot, "directory_repairs_total")),
     )
 
 
@@ -267,6 +286,15 @@ class CostModel:
 
     def paired_messages(self, rounds: int) -> int:
         return rounds * 2
+
+    def directory_messages(self, rounds: int, replicas: int) -> int:
+        """One quorum round fans one request/response pair to every
+        directory replica, and the quorum layer counts exactly one
+        round per fan-out — so fault-free traffic is ``2 * R`` messages
+        per round.  Failed legs (unreachable replicas record nothing)
+        and unicast read-repairs perturb this; both are surfaced as
+        explainer counters and covered by the bounded allowance."""
+        return rounds * 2 * replicas
 
 
 @dataclass(frozen=True)
@@ -410,6 +438,11 @@ class CostAuditor:
             + counts.order_retries
             + counts.stale_refetches
             + counts.hedged_reads
+            # Each failed directory leg is <= 2 messages *missing* from a
+            # quorum fan-out; each read-repair is 2 extra unicast
+            # messages.  Both are per-event units of wire perturbation.
+            + counts.directory_leg_failures
+            + counts.directory_repairs
         )
 
     # -- audit --------------------------------------------------------------
@@ -554,6 +587,14 @@ class CostAuditor:
                 kind,
                 model.paired_messages(m.rounds),
                 note="request/response paired",
+            )
+        replicas = int(gauge_value(snapshot, "directory_replica_count"))
+        if replicas:
+            m = measured("directory")
+            check(
+                "directory",
+                model.directory_messages(m.rounds, replicas),
+                note=f"quorum fan-outs x {replicas} replicas",
             )
         # Anything attributed to a kind the model does not predict
         # (including "other") is reported informationally.

@@ -332,3 +332,71 @@ def check_quiescence(
     if history is not None:
         out.extend(check_history(history, initial))
     return out
+
+
+def check_directory(cluster: "Cluster") -> list[InvariantViolation]:
+    """Replicated-directory invariants (replicated mode only).
+
+    ``directory_agrees``
+        At quiescence (after anti-entropy) every *live* replica's
+        committed register map is identical, and the quorum-resolved
+        binding for each slot matches that shared state.
+
+    ``no_split_brain``
+        Across every replica's full acceptance log — including crashed
+        replicas, whose state survives for the audit — no two distinct
+        node ids were ever accepted for the same (slot, incarnation).
+        This is the property the consensus tags exist to enforce: a
+        violation means two partitions each minted a replacement.
+    """
+    out: list[InvariantViolation] = []
+    replicas = getattr(cluster, "directory_nodes", [])
+    if not replicas:
+        return out
+    live = [
+        replica
+        for replica in replicas
+        if not cluster.transport.is_crashed(replica.replica_id)
+    ]
+    states = {r.replica_id: r.committed_state() for r in live}
+    if states:
+        reference_id, reference = next(iter(states.items()))
+        for replica_id, state in states.items():
+            if state != reference:
+                missing = set(reference) ^ set(state)
+                differing = {
+                    key
+                    for key in set(reference) & set(state)
+                    if reference[key] != state[key]
+                }
+                out.append(InvariantViolation(
+                    "directory_agrees", None,
+                    f"{replica_id} diverges from {reference_id}: "
+                    f"{len(missing)} keys missing, "
+                    f"{sorted(differing)} differ",
+                ))
+        qdirectory = getattr(cluster, "qdirectory", None)
+        if qdirectory is not None and not out:
+            for key, (_tag, value) in reference.items():
+                if key[0] != "slot":
+                    continue
+                resolved = qdirectory.lookup(key[1])
+                if resolved != value:
+                    out.append(InvariantViolation(
+                        "directory_agrees", None,
+                        f"slot {key[1]}: quorum resolves {resolved} but "
+                        f"replicas committed {value}",
+                    ))
+    # no_split_brain: one node id per (slot, incarnation), ever accepted.
+    accepted: dict[tuple[int, int], set[str]] = {}
+    for replica in replicas:
+        for slot, incarnation, node_id in replica.accepted_bindings():
+            accepted.setdefault((slot, incarnation), set()).add(node_id)
+    for (slot, incarnation), node_ids in sorted(accepted.items()):
+        if len(node_ids) > 1:
+            out.append(InvariantViolation(
+                "no_split_brain", slot,
+                f"incarnation {incarnation} accepted as "
+                f"{sorted(node_ids)}",
+            ))
+    return out

@@ -29,6 +29,13 @@ Commands
                 check the full quiescence invariant pack plus the
                 placement/bytes-moved invariants; also proves graceful
                 degradation of a migration crashed before its commit
+``directory-soak`` replicated-directory soak: run the metadata plane's
+                fate table (minority crash, replica restart, partition,
+                full quorum loss, heal) under chaos while client
+                traffic, a storage remap and a rebalance pass keep
+                running; proves quorum loss degrades to cached
+                bindings with remaps refused (never split-brain) and
+                sweeps every directory.* crash point
 ``explore``     deterministic crash-point exploration: kill a client at
                 every named protocol step x companion fault, drive the
                 survivors to quiescence, and check the invariant pack;
@@ -65,6 +72,12 @@ from repro.chaos.elastic_soak import (
     run_elastic_soak,
     smoke_config,
 )
+from repro.chaos.directory_soak import (
+    DirectorySoakConfig,
+    run_directory_point_sweep,
+    run_directory_soak,
+)
+from repro.chaos.directory_soak import smoke_config as directory_smoke_config
 from repro.chaos.corruption_soak import (
     CorruptionSoakConfig,
     run_corruption_soak,
@@ -355,6 +368,38 @@ def cmd_elastic_soak(args: argparse.Namespace) -> int:
     return 0 if report.passed and proof.holds else 1
 
 
+def cmd_directory_soak(args: argparse.Namespace) -> int:
+    if args.smoke:
+        base = directory_smoke_config(args.seed)
+    else:
+        base = DirectorySoakConfig(seed=args.seed)
+    config = DirectorySoakConfig(
+        seed=base.seed,
+        pool=args.pool or base.pool,
+        directory_replicas=args.directory_replicas or base.directory_replicas,
+        blocks=args.blocks or base.blocks,
+        ops_per_phase=args.ops_per_phase or base.ops_per_phase,
+        observe=not args.no_observe,
+        flight_dir=args.flight_dir,
+    )
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"invalid directory-soak configuration: {exc}", file=sys.stderr)
+        return 2
+    _ensure_dir(args.flight_dir)
+    report = run_directory_soak(config)
+    print(report.summary())
+    # Every run also sweeps the three directory.* crash windows: a remap
+    # proposer dies at each one, and the next proposer must converge on
+    # the same single decision (the no-split-brain construction).
+    sweep = run_directory_point_sweep(args.seed)
+    print(sweep.summary())
+    if args.metrics_out and report.metrics:
+        _write_metrics(args.metrics_out, report.metrics)
+    return 0 if report.passed and sweep.passed else 1
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     if args.schedules is not None:
         schedules = args.schedules
@@ -496,13 +541,17 @@ def cmd_trace_dump(args: argparse.Namespace) -> int:
 
 
 def _cost_report_workload(
-    k: int, n: int, block_size: int, writes: int, seed: int, strategy: str
+    k: int, n: int, block_size: int, writes: int, seed: int, strategy: str,
+    directory_replicas: int = 3,
 ) -> Observability:
     """A seeded, strictly fault-free workload that lights up every op
     kind the cost model predicts: writes (swap + adds), reads, one
     recovery on a healthy stripe (all three phases), a GC round, a
     monitor sweep, and a parity scrub.  No crash, no chaos — the
     measured wire traffic must equal the paper's failure-free columns.
+    With ``directory_replicas`` > 0 all slot bindings ride the
+    replicated quorum directory, so the ``"directory"`` kind is also
+    exercised and audited exactly.
     """
     import numpy as np
 
@@ -513,7 +562,8 @@ def _cost_report_workload(
 
     obs = Observability.create()
     cluster = Cluster(
-        k=k, n=n, block_size=block_size, seed=seed, observability=obs
+        k=k, n=n, block_size=block_size, seed=seed, observability=obs,
+        directory_replicas=directory_replicas or None,
     )
     client = cluster.protocol_client(
         "cost", ClientConfig(strategy=WriteStrategy(strategy))
@@ -560,7 +610,7 @@ def cmd_cost_report(args: argparse.Namespace) -> int:
         try:
             obs = _cost_report_workload(
                 args.k, args.n, args.block_size, args.writes, args.seed,
-                args.strategy,
+                args.strategy, args.directory_replicas,
             )
         except ValueError as exc:
             print(f"invalid cost-report parameters: {exc}", file=sys.stderr)
@@ -785,6 +835,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observe_args(elastic)
     elastic.set_defaults(func=cmd_elastic_soak)
 
+    dirsoak = sub.add_parser(
+        "directory-soak",
+        help="replicated-directory soak: metadata-plane fate table "
+             "(minority crash, restart, partition, quorum loss, heal) "
+             "under chaos, plus the directory.* crash-point sweep",
+        epilog=EXIT_CODES_EPILOG,
+    )
+    dirsoak.add_argument("--seed", type=int, default=23)
+    dirsoak.add_argument("--smoke", action="store_true",
+                         help="CI-sized run: half the traffic, same phases")
+    dirsoak.add_argument("--pool", type=int, default=None,
+                         help="storage pool size (default 8, smoke 6)")
+    dirsoak.add_argument("--directory-replicas", type=int, default=None,
+                         help="directory replica count, 3..5 (default 3)")
+    dirsoak.add_argument("--blocks", type=int, default=None,
+                         help="logical block namespace (default 10, smoke 8)")
+    dirsoak.add_argument("--ops-per-phase", type=int, default=None,
+                         help="workload ops between fault phases")
+    _add_observe_args(dirsoak)
+    dirsoak.set_defaults(func=cmd_directory_soak)
+
     explore = sub.add_parser(
         "explore",
         help="crash-point schedule exploration + quiescence invariants",
@@ -859,6 +930,11 @@ def build_parser() -> argparse.ArgumentParser:
     cost_report.add_argument(
         "--strategy", choices=["parallel", "serial", "broadcast"],
         default="parallel", help="AJX write variant to audit",
+    )
+    cost_report.add_argument(
+        "--directory-replicas", type=int, default=3,
+        help="replicated directory replica count for the workload "
+             "(0 = legacy in-process directory, no 'directory' kind)",
     )
     cost_report.add_argument(
         "--from", dest="from_file", metavar="FILE", default=None,

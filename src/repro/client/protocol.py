@@ -31,7 +31,7 @@ from repro.client.config import ClientConfig, WriteStrategy
 from repro.client.consistency import find_consistent
 from repro.client.health import HealthRegistry
 from repro.crashpoints import NULL_CRASHPOINTS
-from repro.directory import Directory
+from repro.directory import Directory, UnknownSlotError
 from repro.errors import (
     CircuitOpenError,
     CorruptionDetected,
@@ -81,6 +81,7 @@ class ClientStats:
     degraded_reads: int = 0  # reads served by decode instead of recovery
     hedged_reads: int = 0  # reads where the hedge (reconstruct race) fired
     busy_rejections: int = 0  # NodeBusyError sheds observed (admission)
+    unbound_retries: int = 0  # UnknownSlotError retries (mid-reconfiguration)
     breaker_fast_fails: int = 0  # calls refused locally by an open circuit
     verified_reads: int = 0  # reads whose fingerprint cross-check passed
     corruptions_detected: int = 0  # fingerprint mismatches (any source)
@@ -281,28 +282,46 @@ class ProtocolClient:
         placement-generation stamp: invalidate the cache entry for the
         stripe, refetch, and retry at the current placement.  Bounded to
         a few rounds — one refetch resolves any single migration, so
-        repeats only happen under back-to-back reconfigurations."""
-        for stale_attempt in range(4):
+        repeats only happen under back-to-back reconfigurations.
+
+        An :class:`UnknownSlotError` is the mid-reconfiguration window
+        where the directory has not yet bound a slot this client's map
+        already points at (e.g. a pool grow racing the lookup).  Like a
+        busy shed it is retryable, never evidence of failure: retry
+        through the backoff policy, bounded by the retry budget, and
+        only surface the raw error once those bounds are spent."""
+        for unbound_attempt in range(4):
             try:
-                for busy_attempt in range(self.config.busy_retry_limit + 1):
+                for stale_attempt in range(4):
                     try:
-                        return self._call_once(
-                            stripe, index, op, *args, trace_ctx=trace_ctx,
-                            op_kind=op_kind, **kwargs,
-                        )
-                    except NodeBusyError:
-                        self.stats.bump("busy_rejections")
-                        if busy_attempt >= self.config.busy_retry_limit:
+                        for busy_attempt in range(self.config.busy_retry_limit + 1):
+                            try:
+                                return self._call_once(
+                                    stripe, index, op, *args, trace_ctx=trace_ctx,
+                                    op_kind=op_kind, **kwargs,
+                                )
+                            except NodeBusyError:
+                                self.stats.bump("busy_rejections")
+                                if busy_attempt >= self.config.busy_retry_limit:
+                                    raise
+                                time.sleep(self._backoff.next_delay(busy_attempt))
+                    except StalePlacementError:
+                        if self.placement is None or stale_attempt >= 3:
                             raise
-                        time.sleep(self._backoff.next_delay(busy_attempt))
-            except StalePlacementError:
-                if self.placement is None or stale_attempt >= 3:
+                        self.placement.invalidate(stripe)
+                        self.stats.bump("stale_refetches")
+                        if self.tracer.enabled:
+                            self.tracer.emit(self.client_id, "placement.refetch",
+                                             stripe=stripe, op=op)
+                raise AssertionError("unreachable")
+            except UnknownSlotError:
+                if unbound_attempt >= 3 or not self._retry_permitted():
                     raise
-                self.placement.invalidate(stripe)
-                self.stats.bump("stale_refetches")
+                self.stats.bump("unbound_retries")
                 if self.tracer.enabled:
-                    self.tracer.emit(self.client_id, "placement.refetch",
+                    self.tracer.emit(self.client_id, "directory.unbound_retry",
                                      stripe=stripe, op=op)
+                self._sleep_backoff(unbound_attempt)
         raise AssertionError("unreachable")
 
     def _call_once(

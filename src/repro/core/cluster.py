@@ -18,7 +18,13 @@ from repro.client.config import ClientConfig
 from repro.client.health import HealthRegistry
 from repro.client.protocol import ProtocolClient
 from repro.core.volume import VolumeClient
-from repro.directory import Directory
+from repro.directory import (
+    Directory,
+    DirectoryCache,
+    DirectoryReplica,
+    QuorumPlacement,
+    ReplicatedDirectory,
+)
 from repro.erasure.rs import ReedSolomonCode
 from repro.erasure.striping import StripeLayout
 from repro.ids import BlockAddr
@@ -69,6 +75,7 @@ class Cluster:
         admission_limit: int | None = None,
         retry_budget: float | None = None,
         pool: int | None = None,
+        directory_replicas: int | None = None,
     ):
         self.code = ReedSolomonCode(k, n, construction)
         self.layout = StripeLayout(k, n, rotate=rotate)
@@ -119,6 +126,38 @@ class Cluster:
         self._servers: dict[str, InstrumentedServer] = {}
         self._clients: dict[str, ProtocolClient] = {}
         self._lock = threading.Lock()
+        #: Directory replica handlers (``directory_replicas=R``): the
+        #: metadata plane as its own fault domain, reachable only via
+        #: the transport so chaos faults hit it too.  Empty with the
+        #: legacy in-process directory.
+        self.directory_nodes: list[DirectoryReplica] = []
+        #: The shared quorum client over those replicas, or None.
+        self.qdirectory: ReplicatedDirectory | None = None
+        if directory_replicas is not None:
+            if not 3 <= directory_replicas <= 5:
+                raise ValueError(
+                    f"directory_replicas must be 3..5, got {directory_replicas}"
+                )
+            replica_ids = [f"dir-{i}" for i in range(directory_replicas)]
+            for replica_id in replica_ids:
+                replica = DirectoryReplica(replica_id)
+                self.directory_nodes.append(replica)
+                self.transport.register(replica_id, replica)
+            self.qdirectory = ReplicatedDirectory(
+                "dir-client",
+                self.transport,
+                replica_ids,
+                self._provision,
+                health=self.health,
+                retry_budget=self.retry_budget,
+                seed=seed,
+            )
+            if observability is not None:
+                self.qdirectory.metrics = observability.registry
+                self.qdirectory.tracer = observability.tracer
+                observability.registry.gauge("directory_replica_count").set(
+                    directory_replicas
+                )
         #: Elastic placement (``pool=N``): stripes are assigned to n of
         #: the N pooled slots by a versioned consistent-hash map instead
         #: of the static layout.  None keeps the paper's fixed layout.
@@ -126,10 +165,22 @@ class Cluster:
         if pool is not None:
             if pool < n:
                 raise ValueError(f"pool={pool} cannot host n={n} stripes")
-            self.placement = PlacementMap(
-                width=n, members=range(pool), seed=seed
-            )
-        self.directory = Directory(self._provision)
+            if self.qdirectory is not None:
+                # Stripe-generation commits ride the same quorum as
+                # slot bindings before the local map flips.
+                self.placement = QuorumPlacement(
+                    width=n, members=range(pool), seed=seed,
+                    directory=self.qdirectory,
+                )
+            else:
+                self.placement = PlacementMap(
+                    width=n, members=range(pool), seed=seed
+                )
+        self.directory = (
+            self.qdirectory
+            if self.qdirectory is not None
+            else Directory(self._provision)
+        )
         for slot in range(pool if pool is not None else n):
             node_id = f"storage-{slot}"
             self._install_node(node_id, slot, fresh=False)
@@ -183,9 +234,18 @@ class Cluster:
         return node
 
     def _provision(self, slot: int, incarnation: int) -> str:
-        """Directory callback: bring up a fresh replacement node (§3.5)."""
+        """Directory callback: bring up a fresh replacement node (§3.5).
+
+        Deterministic and idempotent: the same (slot, incarnation)
+        always names — and installs at most once — the same node.  The
+        quorum directory relies on this: two racing remap proposers may
+        both call it, but whichever proposal wins consensus binds the
+        identical node id, so no split brain is even expressible."""
         node_id = f"storage-{slot}.{incarnation}"
-        self._install_node(node_id, slot, fresh=True)
+        with self._lock:
+            installed = node_id in self._nodes
+        if not installed:
+            self._install_node(node_id, slot, fresh=True)
         return node_id
 
     def add_storage(self, count: int = 1) -> list[int]:
@@ -219,7 +279,7 @@ class Cluster:
         reb = Rebalancer(
             client_id=name,
             transport=self.transport,
-            directory=self.directory,
+            directory=self._client_directory(),
             placement=self.placement,
             volume=self.volume_name,
             meta=self.meta,
@@ -229,6 +289,36 @@ class Cluster:
             reb.metrics = self.observability.registry
             reb.tracer = self.observability.tracer
         return reb
+
+    def _client_directory(self):
+        """A per-client directory view: a stale-invalidated cache over
+        the quorum client (PlacementCache idiom) in replicated mode,
+        the shared in-process map otherwise."""
+        if self.qdirectory is not None:
+            return DirectoryCache(self.qdirectory)
+        return self.directory
+
+    # -- directory-replica lifecycle (replicated mode) -----------------
+
+    @property
+    def directory_replica_ids(self) -> list[str]:
+        return [replica.replica_id for replica in self.directory_nodes]
+
+    def crash_directory_replica(self, index: int) -> str:
+        """Fail-stop one directory replica; returns its id."""
+        replica_id = self.directory_nodes[index].replica_id
+        self.transport.crash(replica_id)
+        return replica_id
+
+    def restart_directory_replica(self, index: int) -> str:
+        """Bring a crashed directory replica back, state intact.
+
+        Directory registers are tiny and durable in this model (the
+        analogue of a metadata WAL); what a restarted replica missed
+        while down is healed by read repair and anti-entropy."""
+        replica = self.directory_nodes[index]
+        self.transport.register(replica.replica_id, replica)
+        return replica.replica_id
 
     def _on_node_failure(self, failed_id: str) -> None:
         with self._lock:
@@ -273,7 +363,10 @@ class Cluster:
         client = ProtocolClient(
             client_id=name,
             transport=self.transport,
-            directory=self.directory,
+            # In replicated-directory mode each client gets its own
+            # stale-invalidated cache view, mirroring the placement
+            # cache below.
+            directory=self._client_directory(),
             volume=volume,
             meta=self.volume_meta(volume),
             config=config,

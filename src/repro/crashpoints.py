@@ -108,6 +108,26 @@ CRASH_POINT_CATALOGUE: dict[str, tuple[str, str]] = {
         "degraded while locks sit EXP); copied RECONS images at the new "
         "placement are orphaned until a re-migration overwrites them",
     ),
+    "directory.before_prepare": (
+        "DIRECTORY RMW, tag drawn, before the prepare fan-out",
+        "nothing reached any replica; the next proposer runs the same "
+        "transform from the same committed state",
+    ),
+    "directory.before_commit": (
+        "DIRECTORY RMW, majority promised, value computed (a remap has "
+        "already provisioned its replacement node), before the accept "
+        "fan-out",
+        "replicas hold promises but no acceptance; the provisioned "
+        "INIT node is orphaned until the next proposer recomputes the "
+        "same deterministic binding and drives it through",
+    ),
+    "directory.before_apply": (
+        "DIRECTORY RMW, majority accepted (the value is *chosen*), "
+        "before the apply fan-out",
+        "no replica has committed; the next proposer's prepare quorum "
+        "surfaces the chosen value and must adopt it — the "
+        "no_split_brain-critical window",
+    ),
     "rebalance.after_commit": (
         "REBALANCE, map committed and old pairs retired, before the "
         "epoch-bumping finalize of the new placement",

@@ -20,6 +20,12 @@ class NodeUnavailableError(ReproError):
         self.node_id = node_id
         self.reason = reason
 
+    def __reduce__(self):
+        # Survive pickling over TcpTransport with fields intact: the
+        # default path would re-call __init__ with the rendered message
+        # as node_id.
+        return (NodeUnavailableError, (self.node_id, self.reason))
+
 
 class PartitionedError(NodeUnavailableError):
     """The caller is partitioned from the target (switch failure etc.)."""
@@ -27,6 +33,9 @@ class PartitionedError(NodeUnavailableError):
     def __init__(self, src: str, dst: str):
         super().__init__(dst, reason=f"partitioned from {src}")
         self.src = src
+
+    def __reduce__(self):
+        return (PartitionedError, (self.src, self.node_id))
 
 
 class RpcTimeoutError(NodeUnavailableError):
@@ -49,6 +58,9 @@ class RpcTimeoutError(NodeUnavailableError):
         super().__init__(node_id, reason=detail)
         self.op = op
         self.deadline = deadline
+
+    def __reduce__(self):
+        return (RpcTimeoutError, (self.node_id, self.op, self.deadline))
 
 
 class NodeBusyError(ReproError):
@@ -171,6 +183,9 @@ class CircuitOpenError(NodeUnavailableError):
     def __init__(self, node_id: str):
         super().__init__(node_id, reason="circuit open")
 
+    def __reduce__(self):
+        return (CircuitOpenError, (self.node_id,))
+
 
 class UnknownNodeError(ReproError):
     """RPC addressed to a node id the transport has never seen."""
@@ -210,6 +225,32 @@ class ClientCrash(BaseException):
         self.point = point
         self.hit = hit
         self.detail = dict(detail or {})
+
+    def __reduce__(self):
+        return (ClientCrash, (self.point, self.hit, self.detail))
+
+
+class DirectoryUnavailableError(ReproError):
+    """A majority of directory replicas is unreachable.
+
+    Raised by the replicated directory's quorum layer when prepare,
+    accept or read cannot assemble a majority.  Deliberately not a
+    :class:`NodeUnavailableError` subclass: the *storage* node a client
+    was talking to may be perfectly healthy — it is the metadata plane
+    that is down, and the right responses are cached-binding reads and
+    refusing remaps, never recovery or slot remap of the data plane.
+    """
+
+    def __init__(self, op: str, detail: str = ""):
+        message = f"directory quorum unavailable during {op}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.op = op
+        self.detail = detail
+
+    def __reduce__(self):
+        return (DirectoryUnavailableError, (self.op, self.detail))
 
 
 class WriteAbortedError(ReproError):

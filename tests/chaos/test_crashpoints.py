@@ -17,7 +17,9 @@ class TestCatalogue:
 
     def test_covers_write_recovery_gc_and_monitor(self):
         prefixes = {p.split(".")[0] for p in CRASH_POINT_CATALOGUE}
-        assert prefixes == {"write", "recovery", "gc", "monitor", "rebalance"}
+        assert prefixes == {
+            "write", "recovery", "gc", "monitor", "rebalance", "directory",
+        }
 
 
 class TestCrashPlan:

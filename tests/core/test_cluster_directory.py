@@ -1,0 +1,141 @@
+"""Cluster wiring for the replicated quorum directory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.invariants import check_directory
+from repro.core.cluster import Cluster
+from repro.directory import Directory, DirectoryCache, ReplicatedDirectory
+from repro.directory.quorum import QuorumPlacement
+from repro.errors import DirectoryUnavailableError
+from repro.storage.wal import WalStore
+
+
+def payload(width: int = 32) -> np.ndarray:
+    return np.arange(width, dtype=np.uint8)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(2, 4, block_size=32, seed=5, directory_replicas=3)
+
+
+class TestWiring:
+    def test_replica_count_validated(self):
+        for bad in (1, 2, 6):
+            with pytest.raises(ValueError):
+                Cluster(2, 4, block_size=32, directory_replicas=bad)
+
+    def test_legacy_mode_keeps_local_directory(self):
+        legacy = Cluster(2, 4, block_size=32, seed=5)
+        assert isinstance(legacy.directory, Directory)
+        assert legacy.qdirectory is None
+        assert legacy.directory_nodes == []
+        assert check_directory(legacy) == []
+
+    def test_replicated_mode_routes_all_bindings(self, cluster):
+        assert isinstance(cluster.directory, ReplicatedDirectory)
+        assert cluster.directory_replica_ids == ["dir-0", "dir-1", "dir-2"]
+        # Every slot binding was committed through the quorum at build.
+        for node in cluster.directory_nodes:
+            slots = {
+                key[1]
+                for key in node.committed_state()
+                if key[0] == "slot"
+            }
+            assert slots == set(range(4))
+
+    def test_clients_get_cache_views(self, cluster):
+        client = cluster.protocol_client("c")
+        assert isinstance(client.directory, DirectoryCache)
+
+    def test_read_write_through_quorum_metadata(self, cluster):
+        client = cluster.protocol_client("c")
+        client.write(0, 0, payload())
+        assert np.array_equal(client.read(0, 0), payload())
+        assert check_directory(cluster) == []
+
+    def test_quorum_placement_commits_generations(self):
+        pooled = Cluster(
+            2, 4, block_size=32, seed=5, pool=6, directory_replicas=3
+        )
+        placement = pooled.placement
+        assert isinstance(placement, QuorumPlacement)
+        writer = pooled.protocol_client("w")
+        writer.write(0, 0, payload())
+        new_slots = pooled.add_storage(2)
+        gen = placement.propose(placement.members() | set(new_slots))
+        rebalancer = pooled.rebalancer("reb")
+        rebalancer.migrate_all(placement.pending_stripes(range(4)))
+        # The committed generation is replicated metadata, not local-only.
+        assert pooled.qdirectory.generation(0) == placement.committed_gen(0)
+        assert placement.committed_gen(0) == gen
+        assert check_directory(pooled) == []
+
+
+class TestReplicaLifecycle:
+    def test_storage_remap_rides_a_degraded_quorum(self, cluster):
+        client = cluster.protocol_client("c")
+        client.write(0, 0, payload())
+        cluster.crash_directory_replica(0)
+        failed = cluster.crash_storage(0)
+        fresh = cluster.qdirectory.remap(0, failed)
+        assert fresh != failed
+        assert cluster.qdirectory.incarnation(0) == 1
+
+    def test_restarted_replica_serves_again(self, cluster):
+        cluster.crash_directory_replica(0)
+        cluster.restart_directory_replica(0)
+        cluster.crash_directory_replica(1)
+        cluster.crash_directory_replica(2)
+        # dir-0 alone cannot form a majority with both others down...
+        with pytest.raises(DirectoryUnavailableError):
+            cluster.qdirectory.bind(9, "storage-9")
+        # ...but cached lookups still answer.
+        assert cluster.qdirectory.node_id(0) == "storage-0"
+
+    def test_restart_policy_pin_is_replicated(self):
+        walled = Cluster(
+            2, 4, block_size=32, seed=5, directory_replicas=3,
+            store_factory=lambda slot: WalStore(tag=f"slot{slot}"),
+        )
+        client = walled.protocol_client("c")
+        client.write(0, 0, payload())
+        failed = walled.crash_storage(0, policy="restart")
+        # The pin rides inside the replicated SlotBinding: a remap racing
+        # the restart is a no-op on every replica's view.
+        assert walled.qdirectory.is_pinned(0)
+        assert walled.qdirectory.remap(0, failed) == failed
+        report = walled.restart_storage(0)
+        assert report.clean
+        assert not walled.qdirectory.is_pinned(0)
+        assert np.array_equal(client.read(0, 0), payload())
+
+
+class TestDirectoryInvariants:
+    def test_divergent_commit_is_caught(self, cluster):
+        node = cluster.directory_nodes[0]
+        from repro.directory.replica import SlotBinding
+
+        node.op_dir_apply(
+            ("slot", 0), (99, "rogue"), SlotBinding("rogue-node", 7)
+        )
+        violations = check_directory(cluster)
+        assert any(v.invariant == "directory_agrees" for v in violations)
+
+    def test_split_brain_is_caught(self, cluster):
+        from repro.directory.replica import SlotBinding
+
+        # Two different nodes accepted for the same (slot, incarnation):
+        # the construction makes this unreachable; forge it to prove the
+        # invariant would catch it.
+        cluster.directory_nodes[0].op_dir_accept(
+            ("slot", 0), (50, "a"), SlotBinding("node-a", 1)
+        )
+        cluster.directory_nodes[1].op_dir_accept(
+            ("slot", 0), (51, "b"), SlotBinding("node-b", 1)
+        )
+        violations = check_directory(cluster)
+        assert any(v.invariant == "no_split_brain" for v in violations)

@@ -1,0 +1,150 @@
+"""Digest determinism: placement and directory state fingerprints.
+
+The CI digest-diff jobs rerun soaks with the same seed and compare
+digests byte-for-byte, so every digest in the chain must be a pure
+function of logical state — independent of insertion order, thread
+interleaving, or which replica answered a snapshot first.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.directory import DirectoryReplica, ReplicatedDirectory, SlotBinding
+from repro.net.local import LocalTransport
+from repro.placement.map import PlacementMap
+
+SEEDS = [0, 7, 23]
+
+
+def provisioner(slot: int, incarnation: int) -> str:
+    return f"storage-{slot}.{incarnation}"
+
+
+class TestPlacementDigest:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_commit_order_does_not_matter(self, seed):
+        rng = random.Random(seed)
+        stripes = list(range(24))
+
+        def committed(order):
+            placement = PlacementMap(width=4, members=range(8), seed=seed)
+            gen = placement.propose(set(range(8)) | {8, 9})
+            for stripe in order:
+                placement.commit_stripe(stripe, gen)
+            return placement.digest()
+
+        shuffled = stripes[:]
+        rng.shuffle(shuffled)
+        assert committed(stripes) == committed(shuffled)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_threaded_commits_match_sequential(self, seed):
+        stripes = list(range(32))
+
+        def build():
+            placement = PlacementMap(width=4, members=range(8), seed=seed)
+            gen = placement.propose(set(range(10)))
+            return placement, gen
+
+        sequential, gen = build()
+        for stripe in stripes:
+            sequential.commit_stripe(stripe, gen)
+
+        threaded, gen = build()
+        workers = [
+            threading.Thread(
+                target=lambda chunk=chunk: [
+                    threaded.commit_stripe(s, gen) for s in chunk
+                ]
+            )
+            for chunk in (stripes[::2], stripes[1::2])
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert threaded.digest() == sequential.digest()
+
+    def test_digest_reflects_commits(self):
+        placement = PlacementMap(width=4, members=range(8), seed=1)
+        before = placement.digest()
+        gen = placement.propose(set(range(9)))
+        placement.commit_stripe(0, gen)
+        assert placement.digest() != before
+
+
+class TestReplicaDigest:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_apply_order_does_not_matter(self, seed):
+        rng = random.Random(seed)
+        entries = [
+            (("slot", s), (s + 1, "c"), SlotBinding(f"storage-{s}", 0))
+            for s in range(16)
+        ] + [(("gen", s), (1, "c"), s % 3) for s in range(16)]
+
+        def digest(order):
+            replica = DirectoryReplica("dir-x")
+            for key, tag, value in order:
+                replica.op_dir_apply(key, tag, value)
+            return replica.state_digest()
+
+        shuffled = entries[:]
+        rng.shuffle(shuffled)
+        assert digest(entries) == digest(shuffled)
+
+    def test_superseded_applies_leave_no_trace(self):
+        """Interleavings where an old tag arrives after a newer one must
+        fingerprint identically to never seeing the old tag at all."""
+        key = ("slot", 0)
+        clean = DirectoryReplica("dir-a")
+        clean.op_dir_apply(key, (2, "b"), SlotBinding("new", 1))
+        raced = DirectoryReplica("dir-b")
+        raced.op_dir_apply(key, (2, "b"), SlotBinding("new", 1))
+        raced.op_dir_apply(key, (1, "a"), SlotBinding("old", 0))
+        assert raced.state_digest() == clean.state_digest()
+
+
+class TestQuorumDigest:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_ops_same_digest(self, seed):
+        def run():
+            transport = LocalTransport()
+            nodes = [DirectoryReplica(f"dir-{i}") for i in range(3)]
+            for node in nodes:
+                transport.register(node.replica_id, node)
+            directory = ReplicatedDirectory(
+                "dc", transport, [n.replica_id for n in nodes], provisioner,
+                seed=seed,
+            )
+            order = list(range(8))
+            random.Random(seed).shuffle(order)
+            for slot in order:
+                directory.bind(slot, f"storage-{slot}")
+            directory.remap(order[0], f"storage-{order[0]}")
+            directory.commit_generation(2, 1)
+            return directory, nodes
+
+        a, nodes_a = run()
+        b, nodes_b = run()
+        assert a.digest() == b.digest()
+        assert [n.state_digest() for n in nodes_a] == [
+            n.state_digest() for n in nodes_b
+        ]
+
+    def test_digest_matches_replica_digests_at_quiescence(self):
+        transport = LocalTransport()
+        nodes = [DirectoryReplica(f"dir-{i}") for i in range(3)]
+        for node in nodes:
+            transport.register(node.replica_id, node)
+        directory = ReplicatedDirectory(
+            "dc", transport, [n.replica_id for n in nodes], provisioner
+        )
+        for slot in range(4):
+            directory.bind(slot, f"storage-{slot}")
+        directory.anti_entropy()
+        digests = {n.state_digest() for n in nodes}
+        assert digests == {directory.digest()}

@@ -1,0 +1,126 @@
+"""Single-replica consensus-register semantics: fencing, idempotence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.directory.replica import DirectoryReplica, SlotBinding, ZERO_TAG
+from repro.errors import UnknownOperationError
+
+KEY = ("slot", 0)
+
+
+@pytest.fixture
+def replica():
+    return DirectoryReplica("dir-0")
+
+
+class TestPrepare:
+    def test_first_prepare_promises(self, replica):
+        ack = replica.op_dir_prepare(KEY, (1, "a"))
+        assert ack["ok"]
+        assert ack["promised"] == (1, "a")
+        assert ack["accepted"] is None
+        assert ack["committed"] is None
+
+    def test_stale_prepare_fenced(self, replica):
+        replica.op_dir_prepare(KEY, (2, "b"))
+        ack = replica.op_dir_prepare(KEY, (1, "a"))
+        assert not ack["ok"]
+        assert ack["promised"] == (2, "b")
+
+    def test_equal_tag_fenced(self, replica):
+        replica.op_dir_prepare(KEY, (1, "a"))
+        assert not replica.op_dir_prepare(KEY, (1, "a"))["ok"]
+
+    def test_proposer_id_breaks_round_ties(self, replica):
+        replica.op_dir_prepare(KEY, (1, "a"))
+        # Same round, later proposer id: lexicographically newer.
+        assert replica.op_dir_prepare(KEY, (1, "b"))["ok"]
+
+    def test_prepare_exposes_prior_accept(self, replica):
+        binding = SlotBinding("storage-0", 0)
+        replica.op_dir_prepare(KEY, (1, "a"))
+        replica.op_dir_accept(KEY, (1, "a"), binding)
+        ack = replica.op_dir_prepare(KEY, (2, "b"))
+        assert ack["ok"]
+        assert ack["accepted"] == ((1, "a"), binding)
+
+    def test_keys_are_independent(self, replica):
+        replica.op_dir_prepare(("slot", 0), (5, "a"))
+        assert replica.op_dir_prepare(("slot", 1), (1, "a"))["ok"]
+
+
+class TestAccept:
+    def test_accept_after_own_promise(self, replica):
+        replica.op_dir_prepare(KEY, (1, "a"))
+        ack = replica.op_dir_accept(KEY, (1, "a"), SlotBinding("n", 0))
+        assert ack["ok"]
+
+    def test_accept_fenced_by_newer_promise(self, replica):
+        replica.op_dir_prepare(KEY, (2, "b"))
+        ack = replica.op_dir_accept(KEY, (1, "a"), SlotBinding("n", 0))
+        assert not ack["ok"]
+        assert ack["promised"] == (2, "b")
+
+    def test_unprepared_accept_allowed(self, replica):
+        # Accept without a prior promise is legal (promise is ZERO_TAG).
+        assert replica.op_dir_accept(KEY, (1, "a"), SlotBinding("n", 0))["ok"]
+
+    def test_acceptance_log_records_every_grant(self, replica):
+        replica.op_dir_accept(KEY, (1, "a"), SlotBinding("n", 0))
+        replica.op_dir_accept(KEY, (2, "b"), SlotBinding("m", 1))
+        assert replica.accepted_bindings() == [(0, 0, "n"), (0, 1, "m")]
+
+
+class TestApply:
+    def test_apply_commits(self, replica):
+        replica.op_dir_apply(KEY, (1, "a"), SlotBinding("n", 0))
+        assert replica.op_dir_read(KEY)["committed"] == (
+            (1, "a"),
+            SlotBinding("n", 0),
+        )
+
+    def test_apply_monotonic(self, replica):
+        replica.op_dir_apply(KEY, (2, "b"), SlotBinding("new", 1))
+        replica.op_dir_apply(KEY, (1, "a"), SlotBinding("old", 0))
+        assert replica.op_dir_read(KEY)["committed"][1] == SlotBinding("new", 1)
+
+    def test_apply_idempotent(self, replica):
+        replica.op_dir_apply(KEY, (1, "a"), SlotBinding("n", 0))
+        replica.op_dir_apply(KEY, (1, "a"), SlotBinding("n", 0))
+        assert len(replica.committed_state()) == 1
+
+
+class TestSync:
+    def test_sync_adopts_newer(self, replica):
+        replica.op_dir_apply(KEY, (1, "a"), SlotBinding("old", 0))
+        ack = replica.op_dir_sync(
+            {
+                KEY: ((3, "b"), SlotBinding("new", 1)),
+                ("gen", 7): ((1, "b"), 4),
+            }
+        )
+        assert ack["adopted"] == 2
+        state = replica.committed_state()
+        assert state[KEY][1] == SlotBinding("new", 1)
+        assert state[("gen", 7)][1] == 4
+
+    def test_sync_ignores_older(self, replica):
+        replica.op_dir_apply(KEY, (3, "b"), SlotBinding("new", 1))
+        ack = replica.op_dir_sync({KEY: ((1, "a"), SlotBinding("old", 0))})
+        assert ack["adopted"] == 0
+        assert replica.committed_state()[KEY][1] == SlotBinding("new", 1)
+
+
+class TestRpcSurface:
+    def test_handle_dispatches(self, replica):
+        assert replica.handle("dir_read", KEY) == {"committed": None}
+
+    def test_unknown_op_rejected(self, replica):
+        with pytest.raises(UnknownOperationError):
+            replica.handle("dir_explode")
+
+    def test_zero_tag_sorts_below_everything(self):
+        assert ZERO_TAG < (1, "")
+        assert ZERO_TAG < (0, "a")
